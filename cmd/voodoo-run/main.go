@@ -1,0 +1,188 @@
+// Command voodoo-run executes a SQL query through the Voodoo stack against
+// a TPC-H catalog (generated on the fly or loaded from disk) and prints the
+// result — optionally together with the generated kernel listing and the
+// OpenCL C source the paper's backend would ship.
+//
+// Usage:
+//
+//	voodoo-run [-sf SF] [-data DIR] [-backend compiled|interp|bulk]
+//	           [-predicate] [-show-kernel] [-show-opencl] [-q N] 'SELECT ...'
+//
+// Examples:
+//
+//	voodoo-run 'SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag'
+//	voodoo-run -q 6                # run TPC-H query 6
+//	voodoo-run -show-opencl 'SELECT SUM(l_extendedprice*l_discount) AS rev FROM lineitem WHERE l_quantity < 24'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/opencl"
+	"voodoo/internal/rel"
+	"voodoo/internal/sql"
+	"voodoo/internal/storage"
+	"voodoo/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the generated catalog")
+	data := flag.String("data", "", "load the catalog from this directory instead of generating")
+	backend := flag.String("backend", "compiled", "compiled, interp or bulk")
+	predicate := flag.Bool("predicate", false, "compile selections branch-free (predication)")
+	showKernel := flag.Bool("show-kernel", false, "print the kernel fragment listing")
+	showCL := flag.Bool("show-opencl", false, "print the generated OpenCL C")
+	qnum := flag.Int("q", 0, "run this TPC-H query number instead of a SQL string")
+	progFile := flag.String("prog", "", "run a textual Voodoo program (paper SSA notation) from this file")
+	flag.Parse()
+
+	var cat *storage.Catalog
+	var err error
+	if *data != "" {
+		cat, err = storage.Load(*data)
+	} else {
+		cat = tpch.Generate(tpch.Config{SF: *sf, Seed: 42})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	e := &rel.Engine{Cat: cat}
+	switch *backend {
+	case "compiled":
+		e.Backend = rel.Compiled
+	case "interp":
+		e.Backend = rel.Interpreted
+	case "bulk":
+		e.Backend = rel.BulkCompiled
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+	e.Opt = compile.Options{Predication: *predicate}
+
+	if *progFile != "" {
+		src, err := os.ReadFile(*progFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := core.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := compile.Compile(prog, cat, e.Opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *showKernel {
+			fmt.Println("-- kernel fragments:")
+			fmt.Println(plan.Kernel())
+		}
+		if *showCL {
+			fmt.Println("-- generated OpenCL C:")
+			fmt.Println(opencl.Generate(plan.Kernel()))
+		}
+		start := time.Now()
+		res, err := plan.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- %d root value(s) (%.1f ms wall)\n", len(res.Values), msSince(start))
+		for ref, v := range res.Values {
+			fmt.Printf("%s =\n%s", prog.Stmts[ref].Label, v)
+		}
+		return
+	}
+
+	if *qnum > 0 {
+		qf, err := tpch.Query(*qnum)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		res, _, err := qf(e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- TPC-H Q%d (%.1f ms wall)\n%s", *qnum, msSince(start), res)
+		return
+	}
+
+	src := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(src) == "" {
+		fatal(fmt.Errorf("no query given (pass a SQL string or -q N)"))
+	}
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := sql.Plan(stmt, cat)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *showKernel || *showCL {
+		// Compile once more standalone to show the artifacts.
+		prog, err := lowerForDisplay(e, q)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := compile.Compile(prog, cat, e.Opt)
+		if err != nil {
+			fatal(err)
+		}
+		if *showKernel {
+			fmt.Println("-- kernel fragments:")
+			fmt.Println(plan.Kernel())
+		}
+		if *showCL {
+			fmt.Println("-- generated OpenCL C:")
+			fmt.Println(opencl.Generate(plan.Kernel()))
+		}
+	}
+
+	start := time.Now()
+	res, _, err := e.Run(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("-- %d rows (%.1f ms wall)\n%s", len(res.Rows), msSince(start), renderDecoded(res))
+}
+
+// lowerForDisplay exposes the Voodoo program of a query via the engine's
+// public lowering (rel.Lower).
+func lowerForDisplay(e *rel.Engine, q rel.Query) (*core.Program, error) {
+	return rel.Lower(q, e.Cat)
+}
+
+// renderDecoded renders the result with dictionary columns decoded.
+func renderDecoded(res *rel.Result) string {
+	var sb strings.Builder
+	for _, c := range res.Cols {
+		fmt.Fprintf(&sb, "%-20s", c)
+	}
+	sb.WriteString("\n")
+	for _, row := range res.Rows {
+		for _, c := range res.Cols {
+			if s := res.Decode(c, row[c]); s != fmt.Sprintf("%g", row[c]) {
+				fmt.Fprintf(&sb, "%-20s", s)
+			} else {
+				fmt.Fprintf(&sb, "%-20.4f", row[c])
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voodoo-run:", err)
+	os.Exit(1)
+}

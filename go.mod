@@ -1,0 +1,3 @@
+module voodoo
+
+go 1.22

@@ -1,0 +1,123 @@
+package hyper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"voodoo/internal/rel"
+	"voodoo/internal/tpch"
+)
+
+var cat = tpch.Generate(tpch.Config{SF: 0.002, Seed: 42})
+
+// TestTPCHAgreesWithVoodoo cross-checks every evaluated query between the
+// HyPer baseline and the Voodoo compiled engine — two independent
+// implementations of the same plans.
+func TestTPCHAgreesWithVoodoo(t *testing.T) {
+	for _, num := range tpch.QueryNumbers {
+		num := num
+		t.Run(fmt.Sprintf("q%d", num), func(t *testing.T) {
+			qf, err := tpch.Query(num)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hres, hstats, err := qf(&Engine{Cat: cat})
+			if err != nil {
+				t.Fatalf("hyper: %v", err)
+			}
+			vres, _, err := qf(&rel.Engine{Cat: cat, Backend: rel.Compiled})
+			if err != nil {
+				t.Fatalf("voodoo: %v", err)
+			}
+			compareResults(t, num, hres, vres)
+			if hstats == nil || len(hstats.Frags) == 0 {
+				t.Error("hyper should report pipeline stats")
+			}
+		})
+	}
+}
+
+// compareResults matches rows after canonical sorting (ordering clauses may
+// break ties differently between engines).
+func compareResults(t *testing.T, num int, a, b *rel.Result) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("q%d: %d rows vs %d rows", num, len(a.Rows), len(b.Rows))
+	}
+	cols := a.Cols
+	canon := func(rows []rel.Row) []rel.Row {
+		out := append([]rel.Row{}, rows...)
+		sort.SliceStable(out, func(i, j int) bool {
+			for _, c := range cols {
+				if out[i][c] != out[j][c] {
+					return out[i][c] < out[j][c]
+				}
+			}
+			return false
+		})
+		return out
+	}
+	ra, rb := canon(a.Rows), canon(b.Rows)
+	for i := range ra {
+		for _, c := range cols {
+			av, bv := ra[i][c], rb[i][c]
+			tol := 1e-6 * math.Max(1, math.Abs(av))
+			if math.Abs(av-bv) > tol {
+				t.Fatalf("q%d row %d col %s: hyper %g vs voodoo %g", num, i, c, av, bv)
+			}
+		}
+	}
+}
+
+// TestTopKHeap checks the priority-queue top-k path directly.
+func TestTopKHeap(t *testing.T) {
+	qf, _ := tpch.Query(10)
+	res, _, err := qf(&Engine{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) > 20 {
+		t.Fatalf("limit 20 violated: %d rows", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i]["revenue"] > res.Rows[i-1]["revenue"]+1e-9 {
+			t.Fatalf("rows not in revenue order at %d", i)
+		}
+	}
+}
+
+func TestPipelineStatsShape(t *testing.T) {
+	qf, _ := tpch.Query(5)
+	_, st, err := qf(&Engine{Cat: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randAccesses, items int64
+	for _, fs := range st.Frags {
+		randAccesses += fs.RandAccesses
+		items += fs.Items
+	}
+	if randAccesses == 0 {
+		t.Error("hash joins should count random accesses")
+	}
+	if items == 0 {
+		t.Error("scans should count items")
+	}
+}
+
+func TestErrorOnBadPlan(t *testing.T) {
+	e := &Engine{Cat: cat}
+	_, _, err := e.Run(rel.Query{Root: rel.Scan{Table: "lineitem", Cols: []string{"l_quantity"}}})
+	if err == nil {
+		t.Fatal("expected error for non-aggregate root")
+	}
+	_, _, err = e.Run(rel.Query{Root: rel.GroupAgg{
+		In:   rel.Scan{Table: "nope", Cols: []string{"x"}},
+		Aggs: []rel.AggSpec{{Func: rel.Count, As: "n"}},
+	}})
+	if err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}

@@ -1,0 +1,24 @@
+// Package ocelot is the reproduction's Ocelot baseline (paper Table 1 and
+// §5.2): a hardware-oblivious bulk processor in the MonetDB style. Every
+// operator fully materializes its (column-wise) intermediate result — the
+// design decision whose cost the GPU's memory bandwidth hides (Figure 12)
+// and the CPU's exposes (Figure 13).
+//
+// The engine is the Voodoo stack with operator fusion disabled
+// (compile.Options.ForceBulk), which is precisely the bulk-processing
+// execution model: identical semantics, materialization at every step.
+package ocelot
+
+import (
+	"voodoo/internal/rel"
+	"voodoo/internal/storage"
+)
+
+// New returns an Ocelot-style engine over the catalog.
+func New(cat *storage.Catalog) *rel.Engine {
+	return &rel.Engine{
+		Cat:          cat,
+		Backend:      rel.BulkCompiled,
+		CollectStats: true,
+	}
+}

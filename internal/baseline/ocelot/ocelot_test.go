@@ -1,0 +1,56 @@
+package ocelot
+
+import (
+	"testing"
+
+	"voodoo/internal/device"
+	"voodoo/internal/rel"
+	"voodoo/internal/tpch"
+)
+
+// TestBulkCostsMoreThanFused verifies the engine's defining property: the
+// same query moves far more memory (full materialization) than the fused
+// Voodoo backend — the cost the paper attributes to Ocelot on the CPU.
+func TestBulkCostsMoreThanFused(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{SF: 0.002, Seed: 42})
+	qf, err := tpch.Query(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat)
+	ores, ostats, err := qf(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, vstats, err := qf(&rel.Engine{Cat: cat, Backend: rel.Compiled, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ores.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(ores.Rows))
+	}
+	if d := ores.Rows[0]["revenue"] - vres.Rows[0]["revenue"]; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("results differ: %v vs %v", ores.Rows, vres.Rows)
+	}
+	var obytes, vbytes int64
+	for _, f := range ostats.Frags {
+		obytes += f.SeqBytes
+	}
+	for _, f := range vstats.Frags {
+		vbytes += f.SeqBytes
+	}
+	if obytes < 3*vbytes {
+		t.Errorf("bulk should move much more memory: %d vs %d bytes", obytes, vbytes)
+	}
+	cpu := device.CPU(8)
+	if !(cpu.Time(ostats) > cpu.Time(vstats)) {
+		t.Error("bulk should be slower on the CPU model")
+	}
+	// On the GPU, bandwidth shrinks the gap (paper Figure 12 vs 13).
+	gpu := device.GPU()
+	cpuRatio := cpu.Time(ostats) / cpu.Time(vstats)
+	gpuRatio := gpu.Time(ostats) / gpu.Time(vstats)
+	if !(gpuRatio < cpuRatio) {
+		t.Errorf("GPU should forgive materialization: gpu ratio %g vs cpu ratio %g", gpuRatio, cpuRatio)
+	}
+}

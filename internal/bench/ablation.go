@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/device"
+	"voodoo/internal/exec"
+	"voodoo/internal/interp"
+	"voodoo/internal/vector"
+)
+
+// Ablation is one design-choice experiment: the same program with a
+// mechanism on and off.
+type Ablation struct {
+	Name     string
+	Detail   string
+	OnTime   float64 // seconds, CPU model
+	OffTime  float64
+	OnBytes  int64 // materialized memory traffic
+	OffBytes int64
+}
+
+// Render prints the ablation results.
+func RenderAblations(as []Ablation) string {
+	var sb strings.Builder
+	sb.WriteString("== ablations: design choices of DESIGN.md §5 ==\n")
+	fmt.Fprintf(&sb, "%-24s %-12s %-12s %-14s %-14s %s\n",
+		"mechanism", "on [s]", "off [s]", "on [bytes]", "off [bytes]", "detail")
+	for _, a := range as {
+		fmt.Fprintf(&sb, "%-24s %-12.6f %-12.6f %-14d %-14d %s\n",
+			a.Name, a.OnTime, a.OffTime, a.OnBytes, a.OffBytes, a.Detail)
+	}
+	return sb.String()
+}
+
+func totalSeqBytes(st *exec.Stats) int64 {
+	var b int64
+	for _, f := range st.Frags {
+		b += f.SeqBytes
+	}
+	return b
+}
+
+// Ablations measures the design choices: operator fusion, predication,
+// virtual scatter, and empty-slot suppression.
+func Ablations(cfg Config) ([]Ablation, error) {
+	n := cfg.n()
+	cpu := device.CPU(1)
+	st := interp.MemStorage{"facts": vector.New(n).
+		Set("v1", vector.NewFloat(uniformFloats(n, cfg.Seed+61))).
+		Set("v2", vector.NewFloat(uniformFloats(n, cfg.Seed+62)))}
+	var out []Ablation
+
+	// Fusion: the fused selection pipeline vs bulk (Ocelot-style)
+	// execution of the identical program.
+	{
+		prog := fig15Program(0.1, n, variantBranching)
+		onStats, _, err := runProgram(prog, st, compile.Options{})
+		if err != nil {
+			return nil, err
+		}
+		offStats, _, err := runProgram(fig15Program(0.1, n, variantBranching), st,
+			compile.Options{ForceBulk: true})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ablation{
+			Name:   "operator fusion",
+			Detail: "fused select+gather+sum vs bulk materialization of every operator",
+			OnTime: cpu.Time(onStats), OffTime: cpu.Time(offStats),
+			OnBytes: totalSeqBytes(onStats), OffBytes: totalSeqBytes(offStats),
+		})
+	}
+
+	// Predication at the worst-case selectivity (50%): branch-free on vs
+	// branching off.
+	{
+		on, err := priced(fig15Program(0.5, n, variantVectorized), st,
+			compile.Options{Predication: true}, cpu)
+		if err != nil {
+			return nil, err
+		}
+		off, err := priced(fig15Program(0.5, n, variantBranching), st,
+			compile.Options{}, cpu)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ablation{
+			Name:   "predication @50%",
+			Detail: "cursor arithmetic vs data-dependent branch at peak misprediction",
+			OnTime: on, OffTime: off,
+		})
+	}
+
+	// Virtual scatter: the Figure 4 SIMD aggregation compiled (the
+	// scatter dissolves into strided index arithmetic) vs bulk (the
+	// scatter materializes).
+	{
+		prog := func() *core.Program {
+			b := core.NewBuilder()
+			input := b.Load("facts")
+			ids := b.Range(input)
+			lanes := b.Project("partition", b.Modulo(ids, b.Constant(8)), "")
+			withPart := b.Zip("val", input, "v2", "partition", lanes, "partition")
+			positions := b.Partition("pos", lanes, "partition", b.RangeN(0, 8, 1), "")
+			posVec := b.Upsert(withPart, "pos", positions, "pos")
+			scattered := b.Scatter(withPart, input, "", posVec, "pos")
+			p := b.FoldSum(scattered, "partition", "val")
+			b.GlobalSum(p, "")
+			return b.Program()
+		}
+		onStats, _, err := runProgram(prog(), st, compile.Options{})
+		if err != nil {
+			return nil, err
+		}
+		offStats, _, err := runProgram(prog(), st, compile.Options{ForceBulk: true})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ablation{
+			Name:   "virtual scatter",
+			Detail: "Figure 4 lane aggregation: index arithmetic vs materialized scatter",
+			OnTime: cpu.Time(onStats), OffTime: cpu.Time(offStats),
+			OnBytes: totalSeqBytes(onStats), OffBytes: totalSeqBytes(offStats),
+		})
+	}
+
+	// Empty-slot suppression: the compiled hierarchical aggregation keeps
+	// one slot per run; bulk execution pads every fold output to full
+	// size. The traffic difference is the suppressed padding.
+	{
+		prog := func() *core.Program {
+			b := core.NewBuilder()
+			input := b.Load("facts")
+			ids := b.Range(input)
+			fold := b.Project("fold", b.Divide(ids, b.Constant(1024)), "")
+			withFold := b.Zip("val", input, "v2", "fold", fold, "fold")
+			p := b.FoldSum(withFold, "fold", "val")
+			b.GlobalSum(p, "")
+			return b.Program()
+		}
+		onStats, _, err := runProgram(prog(), st, compile.Options{})
+		if err != nil {
+			return nil, err
+		}
+		offStats, _, err := runProgram(prog(), st, compile.Options{ForceBulk: true})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ablation{
+			Name:   "empty-slot suppression",
+			Detail: "hierarchical sum: compact fold outputs vs padded bulk vectors",
+			OnTime: cpu.Time(onStats), OffTime: cpu.Time(offStats),
+			OnBytes: totalSeqBytes(onStats), OffBytes: totalSeqBytes(offStats),
+		})
+	}
+	return out, nil
+}

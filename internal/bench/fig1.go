@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/device"
+	"voodoo/internal/interp"
+	"voodoo/internal/vector"
+)
+
+// selectionCopyProgram is Figure 1's workload: copy the values below the
+// threshold into the output. The control vector's run length sets the
+// degree of parallelism; the Predication option picks the branching or the
+// cursor-arithmetic implementation.
+func selectionCopyProgram(threshold float64, runLen int) *core.Program {
+	b := core.NewBuilder()
+	in := b.Load("input")
+	thresh := b.ConstantF(threshold)
+	pred := b.Less(in, "", thresh, "")
+	ids := b.Range(in)
+	fold := b.Project("fold", b.Divide(ids, b.Constant(int64(runLen))), "")
+	pf := b.Zip("p", pred, "", "fold", fold, "fold")
+	sel := b.FoldSelect(pf, "fold", "p")
+	b.Gather(in, sel, "")
+	return b.Program()
+}
+
+// Fig1 regenerates Figure 1: branching vs branch-free selection across
+// selectivities on one CPU thread, all CPU threads, and the GPU.
+func Fig1(cfg Config) (*Figure, error) {
+	n := cfg.n()
+	data := uniformFloats(n, cfg.Seed+1)
+	st := interp.MemStorage{"input": vector.New(n).Set("val", vector.NewFloat(data))}
+
+	devs := []struct {
+		name   string
+		model  *device.Model
+		runLen int
+	}{
+		{"Single Thread", device.CPU(1), n},
+		{"Multithread", device.CPU(8), (n + 7) / 8},
+		{"GPU", device.GPU(), max(64, n/4096)},
+	}
+	fig := &Figure{Name: "fig1", Title: "Branching vs branch-free selection",
+		XLabel: "selectivity", YLabel: "time [s]"}
+	for _, d := range devs {
+		for _, pred := range []bool{true, false} {
+			label := d.name + " Branch"
+			if !pred {
+				label = d.name + " No Branch"
+			}
+			s := Series{Name: label}
+			for _, sel := range defaultSelectivities {
+				prog := selectionCopyProgram(sel, d.runLen)
+				t, err := priced(prog, st, compile.Options{Predication: !pred}, d.model)
+				if err != nil {
+					return nil, fmt.Errorf("fig1 %s sel=%g: %w", label, sel, err)
+				}
+				s.Points = append(s.Points, Point{X: sel, T: t})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/device"
+	"voodoo/internal/interp"
+	"voodoo/internal/vector"
+)
+
+// fig14Workloads are the three lookup patterns: sequential positions,
+// random into a cache-resident table (the paper's "Random 4MB") and random
+// into a DRAM-resident table ("Random 128MB"). Sizing is cache-relative —
+// tables and the model's cache tiers scale together with cfg.N — so the
+// L3-resident vs DRAM-resident contrast that drives the figure holds at
+// every configuration size.
+type fig14Workload struct {
+	name string
+	x    float64
+	seq  bool
+	big  bool
+}
+
+var fig14Workloads = []fig14Workload{
+	{"Sequential", 0, true, false},
+	{"Random 4MB", 1, false, false},
+	{"Random 128MB", 2, false, true},
+}
+
+// fig14Variant identifies the three implementations.
+type fig14Variant uint8
+
+const (
+	layoutSingleLoop fig14Variant = iota
+	layoutSeparateLoops
+	layoutTransform
+)
+
+var fig14VariantNames = []string{"Single Loop", "Separate Loops", "Layout Transform"}
+
+// fig14Program builds the two-column positional lookup in the given
+// variant.
+func fig14Program(v fig14Variant, runLen int) *core.Program {
+	b := core.NewBuilder()
+	pos := b.Load("pos")
+	t1 := b.Load("c1")
+	t2 := b.Load("c2")
+	switch v {
+	case layoutSingleLoop:
+		g := b.Gather(b.Zip("c1", t1, "", "c2", t2, ""), pos, "")
+		sum := b.Arith(core.OpAdd, "s", g, "c1", g, "c2")
+		hierSum(b, sum, "s", runLen)
+	case layoutSeparateLoops:
+		g1 := b.Gather(t1, pos, "")
+		s1 := hierSum(b, g1, "", runLen)
+		g2 := b.Gather(t2, pos, "")
+		s2 := hierSum(b, g2, "", runLen)
+		b.Add(s1, s2)
+	case layoutTransform:
+		// Interleave the columns row-wise: row[2i] = c1[i], row[2i+1] = c2[i].
+		ids2 := b.RangeN(0, 2*progTableLen, 1)
+		half := b.Project("h", b.Divide(ids2, b.Constant(2)), "")
+		odd := b.Modulo(ids2, b.Constant(2))
+		g1 := b.Gather(t1, half, "h")
+		g2 := b.Gather(t2, half, "h")
+		evenPart := b.Arith(core.OpMultiply, "v", g1, "",
+			b.Subtract(b.Constant(1), odd), "")
+		oddPart := b.Arith(core.OpMultiply, "v", g2, "", odd, "")
+		rowVals := b.Add(evenPart, oddPart)
+		foldM := b.Project("fold", b.Divide(b.Range(rowVals), b.Constant(int64(runLen))), "")
+		row := b.Materialize(rowVals, foldM, "fold")
+		// Lookups: both fields of row p are adjacent.
+		p2 := b.Multiply(b.Project("p", pos, ""), b.Constant(2))
+		posEven := b.Upsert(pos, "pe", p2, "")
+		posOdd := b.Upsert(pos, "po", b.Add(p2, b.Constant(1)), "")
+		v1 := b.Gather(row, posEven, "pe")
+		v2 := b.Gather(row, posOdd, "po")
+		sum := b.Add(v1, v2)
+		hierSum(b, sum, "", runLen)
+	}
+	return b.Program()
+}
+
+// progTableLen is threaded through fig14Program via a package variable to
+// keep the builder free of context plumbing; Fig14 sets it per workload.
+var progTableLen int
+
+// Fig14 regenerates Figure 14 (b and c): just-in-time layout
+// transformation on the Voodoo backend for CPU and GPU.
+func Fig14(cfg Config) (map[string]*Figure, error) {
+	n := cfg.n()
+	out := map[string]*Figure{}
+	for _, d := range []struct {
+		key    string
+		model  *device.Model
+		runLen int
+	}{
+		{"fig14b", fig14CPU(cfg), n},
+		{"fig14c", fig14GPU(cfg), max(64, n/4096)},
+	} {
+		fig := &Figure{Name: d.key,
+			Title:  "JIT layout transformation (Voodoo on " + d.model.Name + "); x: 0=Sequential 1=Random4MB 2=Random128MB (cache-relative sizes)",
+			XLabel: "workload", YLabel: "time [s]"}
+		series := make([]Series, len(fig14VariantNames))
+		for i, name := range fig14VariantNames {
+			series[i] = Series{Name: name}
+		}
+		for _, w := range fig14Workloads {
+			tableLen := fig14TableLen(cfg, w)
+			st, err := fig14Storage(cfg, w, tableLen, n)
+			if err != nil {
+				return nil, err
+			}
+			progTableLen = tableLen
+			for vi := range fig14VariantNames {
+				prog := fig14Program(fig14Variant(vi), d.runLen)
+				t, err := priced(prog, st, compile.Options{}, d.model)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s %s: %w", d.key, fig14VariantNames[vi], w.name, err)
+				}
+				series[vi].Points = append(series[vi].Points, Point{X: w.x, T: t})
+			}
+		}
+		fig.Series = series
+		out[d.key] = fig
+	}
+	return out, nil
+}
+
+// fig14TableLen sizes the target columns relative to the lookup count: the
+// small table's two columns together slightly exceed half the scaled L3,
+// the large table's exceed it several times over.
+func fig14TableLen(cfg Config, w fig14Workload) int {
+	n := cfg.n()
+	if w.big {
+		return max(n, 64)
+	}
+	return max(n/4, 64)
+}
+
+// fig14CPU returns the single-thread CPU model with cache tiers scaled to
+// the configuration (L3 sits between the small and the large working set).
+func fig14CPU(cfg Config) *device.Model {
+	m := device.CPU(1)
+	l3 := int64(3 * cfg.n())
+	m.Tiers = []device.Tier{
+		{Size: max(l3/256, 512), Latency: m.Tiers[0].Latency},
+		{Size: max(l3/32, 4096), Latency: m.Tiers[1].Latency},
+		{Size: l3, Latency: m.Tiers[2].Latency},
+		{Size: 1 << 62, Latency: m.Tiers[3].Latency},
+	}
+	return m
+}
+
+// fig14GPU scales the GPU's small L2 the same way (even the small table
+// exceeds it — the paper's "lack of large per-core caches").
+func fig14GPU(cfg Config) *device.Model {
+	m := device.GPU()
+	m.Tiers = []device.Tier{
+		{Size: max(int64(cfg.n()/2), 512), Latency: m.Tiers[0].Latency},
+		{Size: 1 << 62, Latency: m.Tiers[1].Latency},
+	}
+	return m
+}
+
+func fig14Storage(cfg Config, w fig14Workload, tableLen, n int) (interp.MemStorage, error) {
+	var pos []int64
+	if w.seq {
+		pos = make([]int64, n)
+		for i := range pos {
+			pos[i] = int64(i % tableLen)
+		}
+	} else {
+		pos = uniformInts(n, int64(tableLen), cfg.Seed+14)
+	}
+	return interp.MemStorage{
+		"pos": vector.New(n).Set("p", vector.NewInt(pos)),
+		"c1":  vector.New(tableLen).Set("v", vector.NewFloat(uniformFloats(tableLen, cfg.Seed+41))),
+		"c2":  vector.New(tableLen).Set("v", vector.NewFloat(uniformFloats(tableLen, cfg.Seed+42))),
+	}, nil
+}
+
+// Fig14Native regenerates Figure 14a: hand-written loops priced on the
+// single-thread CPU model.
+func Fig14Native(cfg Config) (*Figure, error) {
+	n := cfg.n()
+	model := fig14CPU(cfg)
+	fig := &Figure{Name: "fig14a",
+		Title:  "JIT layout transformation (implemented in C); x: 0=Sequential 1=Random4MB 2=Random128MB (cache-relative sizes)",
+		XLabel: "workload", YLabel: "time [s]"}
+	series := make([]Series, len(fig14VariantNames))
+	for i, name := range fig14VariantNames {
+		series[i] = Series{Name: name}
+	}
+	for _, w := range fig14Workloads {
+		tableLen := fig14TableLen(cfg, w)
+		var pos []int64
+		if w.seq {
+			pos = make([]int64, n)
+			for i := range pos {
+				pos[i] = int64(i % tableLen)
+			}
+		} else {
+			pos = uniformInts(n, int64(tableLen), cfg.Seed+14)
+		}
+		c1 := uniformFloats(tableLen, cfg.Seed+41)
+		c2 := uniformFloats(tableLen, cfg.Seed+42)
+		runs := []func() (float64, *nativeStats){
+			func() (float64, *nativeStats) { return nativeLayoutSingleLoop(pos, c1, c2) },
+			func() (float64, *nativeStats) { return nativeLayoutSeparateLoops(pos, c1, c2) },
+			func() (float64, *nativeStats) { return nativeLayoutTransform(pos, c1, c2) },
+		}
+		for vi, run := range runs {
+			_, ns := run()
+			series[vi].Points = append(series[vi].Points, Point{X: w.x, T: model.Time(ns.stats())})
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}

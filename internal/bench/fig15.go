@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/device"
+	"voodoo/internal/interp"
+	"voodoo/internal/vector"
+)
+
+// fig15Variant identifies the three selection strategies of Figure 15.
+type fig15Variant uint8
+
+const (
+	variantBranching fig15Variant = iota
+	variantBranchFree
+	variantVectorized
+)
+
+// vectorChunk is the cache-sized chunk of the vectorized variant (32 KiB of
+// positions — L1/L2 resident on the CPU, beyond the fast scratch size on
+// the GPU, which is the paper's porting failure).
+const vectorChunk = 4096
+
+// fig15Program builds "select sum(v2) from facts where v1 between 0 and
+// $sel" in the given variant. The only structural difference between
+// branch-free and vectorized is where the intermediate position list lives
+// — exactly the paper's "single additional operator" claim: branch-free
+// materializes it (full-size buffer), vectorized keeps it run-local with a
+// cache-sized control vector.
+func fig15Program(sel float64, runLen int, v fig15Variant) *core.Program {
+	b := core.NewBuilder()
+	in := b.Load("facts")
+	pred := b.And(
+		b.GreaterEqual(b.Project("v", in, "v1"), "", b.ConstantF(0), ""),
+		b.GreaterEqual(b.ConstantF(sel), "", b.Project("v", in, "v1"), ""),
+	)
+	if v == variantVectorized {
+		runLen = vectorChunk
+	}
+	ids := b.Range(in)
+	fold := b.Project("fold", b.Divide(ids, b.Constant(int64(runLen))), "")
+	pf := b.Zip("p", pred, "", "fold", fold, "fold")
+	selPos := b.FoldSelect(pf, "fold", "p")
+	if v == variantBranchFree {
+		// Materialize the full-size position buffer, chunked by the same
+		// control vector, then aggregate the gathered values
+		// hierarchically under the same parallelism.
+		selPos = b.Materialize(selPos, pf, "fold")
+		g := b.Gather(b.Project("v2", in, "v2"), selPos, "")
+		gz := b.Zip("v2", g, "", "fold", fold, "fold")
+		p := b.FoldSum(gz, "fold", "v2")
+		b.GlobalSum(p, "")
+		return b.Program()
+	}
+	g := b.Gather(b.Project("v2", in, "v2"), selPos, "")
+	b.FoldSum(g, "", "")
+	return b.Program()
+}
+
+// Fig15 regenerates Figure 15 (b and c): the three selection strategies on
+// the Voodoo backend, priced for CPU and GPU. The companion Fig15Native
+// produces sub-figure (a).
+func Fig15(cfg Config) (map[string]*Figure, error) {
+	n := cfg.n()
+	st := interp.MemStorage{"facts": vector.New(n).
+		Set("v1", vector.NewFloat(uniformFloats(n, cfg.Seed+15))).
+		Set("v2", vector.NewFloat(uniformFloats(n, cfg.Seed+16)))}
+
+	out := map[string]*Figure{}
+	for _, d := range []struct {
+		key    string
+		model  *device.Model
+		runLen int
+	}{
+		{"fig15b", device.CPU(1), n},
+		{"fig15c", device.GPU(), max(64, n/4096)},
+	} {
+		fig := &Figure{Name: d.key,
+			Title:  "select sum(v2) where v1 between (Voodoo on " + d.model.Name + ")",
+			XLabel: "selectivity", YLabel: "time [s]"}
+		for _, v := range []struct {
+			name    string
+			variant fig15Variant
+			pred    bool
+		}{
+			{"Branching", variantBranching, false},
+			{"Branch-Free", variantBranchFree, true},
+			{"Vectorized (BF)", variantVectorized, true},
+		} {
+			s := Series{Name: v.name}
+			for _, sel := range defaultSelectivities {
+				prog := fig15Program(sel, d.runLen, v.variant)
+				t, err := priced(prog, st, compile.Options{Predication: v.pred}, d.model)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s sel=%g: %w", d.key, v.name, sel, err)
+				}
+				s.Points = append(s.Points, Point{X: sel, T: t})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		out[d.key] = fig
+	}
+	return out, nil
+}
+
+// Fig15Native regenerates Figure 15a: the same three strategies as
+// hand-written loops ("implemented in C"), event-counted and priced on the
+// single-thread CPU model.
+func Fig15Native(cfg Config) (*Figure, error) {
+	n := cfg.n()
+	v1 := uniformFloats(n, cfg.Seed+15)
+	v2 := uniformFloats(n, cfg.Seed+16)
+	m := device.CPU(1)
+
+	fig := &Figure{Name: "fig15a",
+		Title:  "select sum(v2) where v1 between (implemented in C)",
+		XLabel: "selectivity", YLabel: "time [s]"}
+	for _, v := range []struct {
+		name string
+		run  func(sel float64) (float64, *nativeStats)
+	}{
+		{"Branching", func(sel float64) (float64, *nativeStats) {
+			return nativeSelectSumBranching(v1, v2, sel)
+		}},
+		{"Branch-Free", func(sel float64) (float64, *nativeStats) {
+			return nativeSelectSumBranchFree(v1, v2, sel)
+		}},
+		{"Vectorized (BF)", func(sel float64) (float64, *nativeStats) {
+			return nativeSelectSumVectorized(v1, v2, sel, vectorChunk)
+		}},
+	} {
+		s := Series{Name: v.name}
+		for _, sel := range defaultSelectivities {
+			sum, ns := v.run(sel)
+			_ = sum
+			s.Points = append(s.Points, Point{X: sel, T: m.Time(ns.stats())})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/device"
+	"voodoo/internal/interp"
+	"voodoo/internal/vector"
+)
+
+// fig16Variant identifies the three FK-join strategies of Figure 16.
+type fig16Variant uint8
+
+const (
+	fkBranching fig16Variant = iota
+	fkPredicatedAggregation
+	fkPredicatedLookups
+)
+
+// fig16Program builds "select sum(target.v) from fact, target where
+// fact.fk = target.pk and fact.v < $sel" in the given variant.
+func fig16Program(sel float64, runLen int, v fig16Variant) *core.Program {
+	b := core.NewBuilder()
+	fact := b.Load("fact")
+	target := b.Load("target")
+	pred := b.Less(b.Project("v", fact, "v"), "", b.ConstantF(sel), "")
+
+	switch v {
+	case fkBranching:
+		// Scan, select, then look up and aggregate only qualifying rows —
+		// the whole chain fuses into one guarded loop.
+		ids := b.Range(fact)
+		fold := b.Project("fold", b.Divide(ids, b.Constant(int64(runLen))), "")
+		pf := b.Zip("p", pred, "", "fold", fold, "fold")
+		selPos := b.FoldSelect(pf, "fold", "p")
+		fkSel := b.Gather(fact, selPos, "")
+		tv := b.Gather(target, fkSel, "fk")
+		b.FoldSum(tv, "", "")
+	case fkPredicatedAggregation:
+		// Unconditional lookups; the predicate masks the aggregation.
+		tv := b.Gather(target, fact, "fk")
+		masked := b.Arith(core.OpMultiply, "m", tv, "", pred, "")
+		hierSum(b, masked, "m", runLen)
+	case fkPredicatedLookups:
+		// Multiply the position by the predicate: misses hit the hot
+		// line at position zero (extra integer arithmetic).
+		pos := b.Multiply(b.Project("fk", fact, "fk"), pred)
+		factP := b.Upsert(fact, "pk", pos, "")
+		tv := b.Gather(target, factP, "pk")
+		masked := b.Arith(core.OpMultiply, "m", tv, "", pred, "")
+		hierSum(b, masked, "m", runLen)
+	}
+	return b.Program()
+}
+
+// hierSum folds a value vector hierarchically: per-run partials under a
+// generated control vector, then a global reduction.
+func hierSum(b *core.Builder, v core.Ref, kp string, runLen int) core.Ref {
+	ids := b.Range(v)
+	fold := b.Project("fold", b.Divide(ids, b.Constant(int64(runLen))), "")
+	withFold := b.Zip("x", v, kp, "fold", fold, "fold")
+	p := b.FoldSum(withFold, "fold", "x")
+	return b.GlobalSum(p, "")
+}
+
+// fig16CPU scales the CPU cache tiers to the configuration so the target
+// table (2N rows) is DRAM-resident — the regime where the hot-line trick
+// of Predicated Lookups matters (the paper's "single, large target table").
+func fig16CPU(cfg Config) *device.Model {
+	m := device.CPU(1)
+	l3 := int64(4 * cfg.n())
+	m.Tiers = []device.Tier{
+		{Size: max(l3/256, 512), Latency: m.Tiers[0].Latency},
+		{Size: max(l3/32, 4096), Latency: m.Tiers[1].Latency},
+		{Size: l3, Latency: m.Tiers[2].Latency},
+		{Size: 1 << 62, Latency: m.Tiers[3].Latency},
+	}
+	return m
+}
+
+// fig16GPU scales the GPU L2 the same way.
+func fig16GPU(cfg Config) *device.Model {
+	m := device.GPU()
+	m.Tiers = []device.Tier{
+		{Size: max(int64(cfg.n()/2), 512), Latency: m.Tiers[0].Latency},
+		{Size: 1 << 62, Latency: m.Tiers[1].Latency},
+	}
+	return m
+}
+
+// Fig16 regenerates Figure 16 (b and c): the selective FK join on the
+// Voodoo backend, priced for CPU and GPU.
+func Fig16(cfg Config) (map[string]*Figure, error) {
+	n := cfg.n()
+	m := 2 * n // the "single, large target table"
+	st := interp.MemStorage{
+		"fact": vector.New(n).
+			Set("fk", vector.NewInt(uniformInts(n, int64(m), cfg.Seed+26))).
+			Set("v", vector.NewFloat(uniformFloats(n, cfg.Seed+27))),
+		"target": vector.New(m).Set("tv", vector.NewFloat(uniformFloats(m, cfg.Seed+28))),
+	}
+
+	out := map[string]*Figure{}
+	for _, d := range []struct {
+		key    string
+		model  *device.Model
+		runLen int
+	}{
+		{"fig16b", fig16CPU(cfg), n},
+		{"fig16c", fig16GPU(cfg), max(64, n/4096)},
+	} {
+		fig := &Figure{Name: d.key,
+			Title:  "selective FK join (Voodoo on " + d.model.Name + ")",
+			XLabel: "selectivity", YLabel: "time [s]"}
+		for _, v := range []struct {
+			name    string
+			variant fig16Variant
+		}{
+			{"Branching", fkBranching},
+			{"Predicated Aggregation", fkPredicatedAggregation},
+			{"Predicated Lookups", fkPredicatedLookups},
+		} {
+			s := Series{Name: v.name}
+			for _, sel := range fig16Selectivities {
+				prog := fig16Program(sel, d.runLen, v.variant)
+				t, err := priced(prog, st, compile.Options{}, d.model)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s sel=%g: %w", d.key, v.name, sel, err)
+				}
+				s.Points = append(s.Points, Point{X: sel, T: t})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		out[d.key] = fig
+	}
+	return out, nil
+}
+
+// Fig16Native regenerates Figure 16a: the same strategies as hand-written
+// loops priced on the single-thread CPU model.
+func Fig16Native(cfg Config) (*Figure, error) {
+	n := cfg.n()
+	m := 2 * n
+	fk := uniformInts(n, int64(m), cfg.Seed+26)
+	v := uniformFloats(n, cfg.Seed+27)
+	target := uniformFloats(m, cfg.Seed+28)
+	model := fig16CPU(cfg)
+
+	fig := &Figure{Name: "fig16a",
+		Title:  "selective FK join (implemented in C)",
+		XLabel: "selectivity", YLabel: "time [s]"}
+	for _, impl := range []struct {
+		name string
+		run  func(sel float64) (float64, *nativeStats)
+	}{
+		{"Branching", func(sel float64) (float64, *nativeStats) {
+			return nativeFKBranching(v, fk, target, sel)
+		}},
+		{"Predicated Aggregation", func(sel float64) (float64, *nativeStats) {
+			return nativeFKPredicatedAggregation(v, fk, target, sel)
+		}},
+		{"Predicated Lookups", func(sel float64) (float64, *nativeStats) {
+			return nativeFKPredicatedLookups(v, fk, target, sel)
+		}},
+	} {
+		s := Series{Name: impl.name}
+		for _, sel := range fig16Selectivities {
+			_, ns := impl.run(sel)
+			s.Points = append(s.Points, Point{X: sel, T: model.Time(ns.stats())})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

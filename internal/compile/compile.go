@@ -1,0 +1,563 @@
+package compile
+
+import (
+	"fmt"
+
+	"voodoo/internal/core"
+	"voodoo/internal/interp"
+	"voodoo/internal/kernel"
+	"voodoo/internal/vector"
+)
+
+// Storage provides persistent vectors; it is the same contract the
+// interpreter uses, so both backends run against identical catalogs.
+type Storage = interp.Storage
+
+// Options tune the compiling backend. The zero value is the default
+// configuration used by the macro benchmarks.
+type Options struct {
+	// Predication replaces the data-dependent branch of selection folds
+	// with cursor arithmetic (paper Figure 1 and §5.3): every element is
+	// written and the write cursor advances by the predicate value.
+	Predication bool
+	// ForceBulk disables operator fusion entirely: every statement
+	// becomes a materializing bulk step. This reproduces the
+	// bulk-processing execution model of MonetDB/Ocelot and backs the
+	// Ocelot baseline in the evaluation.
+	ForceBulk bool
+	// ScatterParallel executes materialized scatters data-parallel. Only
+	// safe when scatter positions are unique (e.g. building a unique-key
+	// join table); the relational frontend enables it for such plans.
+	ScatterParallel bool
+	// DefaultExtent bounds the parallelism of fragments whose extent is
+	// not dictated by a control vector (materializations, scatters).
+	// 0 means the package default (4096).
+	DefaultExtent int
+	// GroupExtent is the number of parallel work items (each with a
+	// private accumulator array) used for grouped aggregations.
+	// 0 means the package default (64).
+	GroupExtent int
+	// Workers caps the goroutines used at execution time (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) defaultExtent() int {
+	if o.DefaultExtent > 0 {
+		return o.DefaultExtent
+	}
+	return 4096
+}
+
+func (o Options) groupExtent() int {
+	if o.GroupExtent > 0 {
+		return o.GroupExtent
+	}
+	return 64
+}
+
+// Compile lowers p into an executable Plan. Storage is consulted at compile
+// time: as in the paper, data sizes are compile-time constants.
+func Compile(p *core.Program, st Storage, opt Options) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		prog: p, st: st, opt: opt,
+		kern:      &kernel.Kernel{},
+		descs:     make([]*desc, len(p.Stmts)),
+		plan:      &Plan{prog: p, st: st, opt: opt},
+		foldCache: map[core.Ref]*desc{},
+	}
+	c.plan.kern = c.kern
+	if err := c.run(); err != nil {
+		return nil, err
+	}
+	return c.plan, nil
+}
+
+type compiler struct {
+	prog  *core.Program
+	st    Storage
+	opt   Options
+	kern  *kernel.Kernel
+	descs []*desc
+	plan  *Plan
+	nbuf  int
+	// foldCache holds the results of fused multi-aggregate folds, keyed
+	// by fold statement id.
+	foldCache map[core.Ref]*desc
+}
+
+type compileErr struct{ err error }
+
+func cerrf(format string, args ...any) {
+	panic(compileErr{fmt.Errorf("compile: "+format, args...)})
+}
+
+func (c *compiler) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(compileErr); ok {
+				err = e.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	uses := c.prog.Uses()
+	for i := range c.prog.Stmts {
+		s := &c.prog.Stmts[i]
+		c.descs[i] = c.compileStmt(s)
+	}
+	// Materialize roots so Plan.Run can hand back vectors.
+	for i := range c.prog.Stmts {
+		s := &c.prog.Stmts[i]
+		if len(uses[i]) == 0 && s.Op != core.OpPersist {
+			c.plan.outputs = append(c.plan.outputs, output{
+				ref: core.Ref(i), conv: c.converter(c.descs[i]),
+			})
+		}
+	}
+	return nil
+}
+
+func (c *compiler) desc(r core.Ref) *desc { return c.descs[r] }
+
+func (c *compiler) compileStmt(s *core.Stmt) *desc {
+	if c.opt.ForceBulk && s.Op != core.OpLoad && s.Op != core.OpPersist {
+		return c.bulk(s)
+	}
+	switch s.Op {
+	case core.OpLoad:
+		return c.compileLoad(s)
+	case core.OpPersist:
+		d := c.desc(s.Args[0])
+		c.plan.steps = append(c.plan.steps, &persistStep{name: s.Name, conv: c.converter(d)})
+		return d
+	case core.OpConstant:
+		var e expr
+		if s.IsFloat {
+			e = constF(s.FloatVal)
+		} else {
+			e = constI(s.IntVal)
+		}
+		return &desc{n: 1, attrs: []attr{{name: s.Out[0], ex: e}}}
+	case core.OpRange:
+		n := s.Size
+		if len(s.Args) == 1 {
+			n = c.desc(s.Args[0]).logical()
+		}
+		m := vector.Step(s.IntVal, s.Step)
+		return &desc{n: n, attrs: []attr{{name: s.Out[0], ex: &eGen{m: m}}}}
+	case core.OpZip:
+		return c.compileZip(s)
+	case core.OpProject:
+		return c.compileProject(s)
+	case core.OpUpsert:
+		return c.compileUpsert(s)
+	case core.OpGather:
+		return c.compileGather(s)
+	case core.OpScatter:
+		return c.compileScatter(s)
+	case core.OpMaterialize, core.OpBreak:
+		d := c.plainify(c.desc(s.Args[0]))
+		ctrl := c.ctrlOf(c.desc(s.Args[1]), s.Kp[1], d.logical())
+		return c.bufferizeWithCtrl(d, ctrl)
+	case core.OpPartition:
+		return c.compilePartition(s)
+	case core.OpFoldSelect, core.OpFoldSum, core.OpFoldMin, core.OpFoldMax, core.OpFoldScan:
+		return c.compileFold(s)
+	case core.OpCross:
+		return c.bulk(s)
+	default:
+		if s.Op.IsArith() {
+			return c.compileArith(s)
+		}
+		return c.bulk(s)
+	}
+}
+
+func (c *compiler) compileLoad(s *core.Stmt) *desc {
+	v, err := c.st.LoadVector(s.Name)
+	if err != nil {
+		cerrf("%v", err)
+	}
+	d := &desc{n: v.Len()}
+	for _, name := range v.Names() {
+		col := v.Col(name)
+		buf := c.kern.AddBuf(kernel.BufDecl{
+			Name: s.Name + "." + name, Kind: col.Kind(), Size: col.Len(),
+			Valid: !col.AllValid(), Input: true,
+		})
+		c.plan.steps = append(c.plan.steps, &bindStep{buf: buf, col: col})
+		a := attr{name: name, ex: &eLoad{buf: buf, k: col.Kind(), idx: theIdx}}
+		if !col.AllValid() {
+			a.validEx = &eLoadValid{buf: buf, idx: theIdx}
+		}
+		// Generated (control) columns keep their metadata symbolic.
+		if m, ok := col.Generated(); ok {
+			a.ex = &eGen{m: m}
+			a.validEx = nil
+		}
+		d.attrs = append(d.attrs, a)
+	}
+	return d
+}
+
+// attrsAt resolves a keypath on a plainified operand, returning copies of
+// the designated attributes renamed under out.
+func (c *compiler) attrsAt(d *desc, kp, out string, op core.Op) []attr {
+	names, idx, ok := d.resolve(kp)
+	if !ok {
+		cerrf("%s: no attribute %q", op, kp)
+	}
+	var res []attr
+	for i, rel := range names {
+		a := d.attrs[idx[i]]
+		name := out
+		if rel != "" {
+			if out != "" {
+				name = out + "." + rel
+			} else {
+				name = rel
+			}
+		}
+		res = append(res, attr{name: name, ex: a.ex, validEx: a.validEx})
+	}
+	return res
+}
+
+// compatible merges two operands into a common index space, or falls back.
+// Scalars (n == 1) are broadcast by using their expressions directly.
+func (c *compiler) compileZip(s *core.Stmt) *desc {
+	d1 := c.plainify(c.desc(s.Args[0]))
+	d2 := c.plainify(c.desc(s.Args[1]))
+	if d1.layout != layoutDense || d2.layout != layoutDense {
+		return c.bulk(s)
+	}
+	n := min(d1.n, d2.n)
+	out := &desc{n: n}
+	out.attrs = append(out.attrs, c.attrsAt(d1, s.Kp[0], s.Out[0], s.Op)...)
+	out.attrs = append(out.attrs, c.attrsAt(d2, s.Kp[1], s.Out[1], s.Op)...)
+	return out
+}
+
+func (c *compiler) compileProject(s *core.Stmt) *desc {
+	d := c.plainify(c.desc(s.Args[0]))
+	out := &desc{n: d.n, layout: d.layout, logicalN: d.logicalN,
+		runLen: d.runLen, countsBuf: d.countsBuf}
+	out.attrs = c.attrsAt(d, s.Kp[0], s.Out[0], s.Op)
+	return out
+}
+
+func (c *compiler) compileUpsert(s *core.Stmt) *desc {
+	d1 := c.plainify(c.desc(s.Args[0]))
+	d2 := c.plainify(c.desc(s.Args[1]))
+	a, ok := d2.single(s.Kp[1])
+	if !ok {
+		cerrf("Upsert: keypath %q does not name a single attribute", s.Kp[1])
+	}
+	if !isScalar(d2) && (d1.layout != d2.layout || d1.n != d2.n) {
+		return c.bulk(s)
+	}
+	out := &desc{n: d1.n, layout: d1.layout, logicalN: d1.logicalN,
+		runLen: d1.runLen, countsBuf: d1.countsBuf}
+	replaced := false
+	for _, old := range d1.attrs {
+		if old.name == s.Out[0] {
+			out.attrs = append(out.attrs, attr{name: s.Out[0], ex: a.ex, validEx: a.validEx})
+			replaced = true
+			continue
+		}
+		out.attrs = append(out.attrs, old)
+	}
+	if !replaced {
+		out.attrs = append(out.attrs, attr{name: s.Out[0], ex: a.ex, validEx: a.validEx})
+	}
+	return out
+}
+
+func (c *compiler) compileArith(s *core.Stmt) *desc {
+	d1 := c.plainify(c.desc(s.Args[0]))
+	d2 := c.plainify(c.desc(s.Args[1]))
+	a1, ok1 := d1.single(s.Kp[0])
+	a2, ok2 := d2.single(s.Kp[1])
+	if !ok1 || !ok2 {
+		cerrf("%s: operands must resolve to single attributes", s.Op)
+	}
+	// Determine the common index space. A one-slot vector broadcasts only
+	// when it is truly scalar (dense): a one-slot *compact* fold result
+	// still denotes a padded vector and must not broadcast.
+	var n int
+	out := &desc{}
+	s1 := isScalar(d1)
+	s2 := isScalar(d2)
+	switch {
+	case s1 && s2:
+		n = 1
+	case s1:
+		n, out.layout, out.logicalN, out.runLen, out.countsBuf = d2.n, d2.layout, d2.logicalN, d2.runLen, d2.countsBuf
+	case s2:
+		n, out.layout, out.logicalN, out.runLen, out.countsBuf = d1.n, d1.layout, d1.logicalN, d1.runLen, d1.countsBuf
+	case d1.layout == layoutDense && d2.layout == layoutDense:
+		n = min(d1.n, d2.n)
+	case d1.layout == layoutFoldCompact && d2.layout == layoutFoldCompact &&
+		d1.runLen == d2.runLen && d1.logicalN == d2.logicalN:
+		// Two compatible suppressed fold results (e.g. sum/count for an
+		// average) combine slot-wise in the compact space.
+		n, out.layout, out.logicalN, out.runLen, out.countsBuf = min(d1.n, d2.n),
+			layoutFoldCompact, d1.logicalN, d1.runLen, -1
+	default:
+		return c.bulk(s)
+	}
+	out.n = n
+	bop, ok := arithBinOp(s.Op)
+	if !ok {
+		cerrf("%s: no kernel lowering", s.Op)
+	}
+	ex := binExpr(bop, a1.ex, a2.ex)
+	a := attr{name: s.Out[0], ex: ex}
+	a.validEx = andValid(a1.validEx, a2.validEx)
+	out.attrs = []attr{a}
+	return out
+}
+
+func andValid(a, b expr) expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return &eBin{op: kernel.BAnd, a: a, b: b}
+	}
+}
+
+func arithBinOp(op core.Op) (kernel.BinOp, bool) {
+	switch op {
+	case core.OpAdd:
+		return kernel.BAdd, true
+	case core.OpSubtract:
+		return kernel.BSub, true
+	case core.OpMultiply:
+		return kernel.BMul, true
+	case core.OpDivide:
+		return kernel.BDiv, true
+	case core.OpModulo:
+		return kernel.BMod, true
+	case core.OpBitShift:
+		return kernel.BShl, true
+	case core.OpLogicalAnd:
+		return kernel.BAnd, true
+	case core.OpLogicalOr:
+		return kernel.BOr, true
+	case core.OpGreater:
+		return kernel.BGt, true
+	case core.OpEquals:
+		return kernel.BEq, true
+	}
+	return 0, false
+}
+
+func (c *compiler) compileGather(s *core.Stmt) *desc {
+	src := c.desc(s.Args[0])
+	posD := c.desc(s.Args[1])
+
+	// Gather through an unmaterialized FoldSelect: keep the pipeline
+	// symbolic so a following fold fuses into one fragment (Figure 8).
+	if posD.sel != nil {
+		srcB := c.bufferize(c.densify(c.plainify(src)))
+		var attrs []attr
+		for _, a := range srcB.attrs {
+			ld := a.ex.(*eLoad)
+			na := attr{name: a.name, ex: &eLoad{buf: ld.buf, k: ld.k, idx: thePos}}
+			if a.validEx != nil {
+				na.validEx = &eLoadValid{buf: ld.buf, idx: thePos}
+			}
+			attrs = append(attrs, na)
+		}
+		return &desc{n: posD.sel.srcN, logicalN: posD.sel.srcN,
+			filt: &filtInfo{sel: posD.sel, attrs: attrs}}
+	}
+
+	// Gather through a *filtered* gather (an indexed FK lookup on selected
+	// rows, Figure 16's branching variant): compose the position expression
+	// over the selected-position leaf so the whole chain stays one loop.
+	if posD.filt != nil {
+		pos, ok := (&desc{n: posD.n, attrs: posD.filt.attrs}).single(s.Kp[1])
+		if ok {
+			srcB := c.bufferize(c.densify(c.plainify(src)))
+			var attrs []attr
+			for _, a := range srcB.attrs {
+				ld := a.ex.(*eLoad)
+				validity := &eLoadValid{buf: ld.buf, idx: pos.ex}
+				var valid expr = validity
+				if pos.validEx != nil {
+					valid = &eBin{op: kernel.BAnd, a: pos.validEx, b: validity}
+				}
+				safe := &eSel{c: valid, a: pos.ex, b: constI(0)}
+				attrs = append(attrs, attr{name: a.name,
+					ex: &eLoad{buf: ld.buf, k: ld.k, idx: safe}, validEx: valid})
+			}
+			return &desc{n: posD.n, logicalN: posD.logical(),
+				filt: &filtInfo{sel: posD.filt.sel, attrs: attrs}}
+		}
+	}
+
+	posD = c.densify(c.plainify(posD))
+	pos, ok := posD.single(s.Kp[1])
+	if !ok {
+		cerrf("Gather: position keypath %q does not name a single attribute", s.Kp[1])
+	}
+	srcB := c.bufferize(c.densify(c.plainify(src)))
+	out := &desc{n: posD.n}
+	for _, a := range srcB.attrs {
+		ld := a.ex.(*eLoad)
+		// Generated positions with statically provable bounds load
+		// unchecked — the compile-time knowledge the paper exploits.
+		if m, ok := genMetaOf(pos.ex); ok && pos.validEx == nil && a.validEx == nil {
+			if lo, hi := metaBounds(m, posD.n); lo >= 0 && hi < int64(c.kern.Bufs[ld.buf].Size) {
+				out.attrs = append(out.attrs, attr{name: a.name,
+					ex: &eLoad{buf: ld.buf, k: ld.k, idx: pos.ex}})
+				continue
+			}
+		}
+		// Out-of-bounds (and ε) positions produce ε slots: guard the
+		// load with a validity probe and clamp the index.
+		validity := &eLoadValid{buf: ld.buf, idx: pos.ex}
+		var valid expr = validity
+		if pos.validEx != nil {
+			valid = &eBin{op: kernel.BAnd, a: pos.validEx, b: validity}
+		}
+		safe := &eSel{c: valid, a: pos.ex, b: constI(0)}
+		load := &eLoad{buf: ld.buf, k: ld.k, idx: safe}
+		out.attrs = append(out.attrs, attr{name: a.name, ex: load, validEx: valid})
+	}
+	return out
+}
+
+func (c *compiler) compilePartition(s *core.Stmt) *desc {
+	d1 := c.plainify(c.desc(s.Args[0]))
+	d2 := c.plainify(c.desc(s.Args[1]))
+	val, ok := d1.single(s.Kp[0])
+	if !ok {
+		cerrf("Partition: keypath %q does not name a single attribute", s.Kp[0])
+	}
+	piv, okP := d2.single(s.Kp[1])
+	if !okP {
+		cerrf("Partition: pivot keypath %q does not name a single attribute", s.Kp[1])
+	}
+	pi := &partInfo{valEx: val.ex, srcN: d1.n, k: d2.logical() + 1}
+	pi.pivots = c.converter(&desc{n: d2.n, attrs: []attr{{name: "p", ex: piv.ex, validEx: piv.validEx}}})
+	if m, ok := genMetaOf(val.ex); ok {
+		pi.meta = &m
+	}
+	// The position attribute is a provenance marker: a following Scatter
+	// dissolves it (virtual scatter); any other consumer forces a bulk
+	// counting sort via ensureEmittable.
+	return &desc{n: d1.n, part: pi,
+		attrs: []attr{{name: s.Out[0], ex: &ePartRef{info: pi}}}}
+}
+
+func (c *compiler) compileScatter(s *core.Stmt) *desc {
+	src := c.desc(s.Args[0])
+	sizeD := c.desc(s.Args[1])
+	posD := c.desc(s.Args[2])
+
+	// Virtual scatter (paper §3.1.3): positions generated by a Partition.
+	pi := c.partitionBehind(posD, s.Kp[2])
+	if pi != nil && src.plain() && src.layout == layoutDense {
+		n := sizeD.logical()
+		if pi.meta != nil {
+			m := *pi.meta
+			if m.Cap > 1 && m.IntegralStep(1) && n == src.n {
+				// Modulo control: round-robin lanes; partition p
+				// holds source elements i ≡ p (mod k). The scatter
+				// dissolves into strided index arithmetic.
+				k := int(m.Cap)
+				return &desc{
+					n: n, layout: layoutScattered, logicalN: n,
+					lanes: k, runLen: (n + k - 1) / k,
+					partAttr: c.scatPartAttr(src, pi),
+					attrs:    src.attrs,
+				}
+			}
+			if rl, ok := m.RunLength(); ok && m.Cap == 0 && n == src.n {
+				// Divide control: blocked partitions are already
+				// contiguous — the scatter is the identity.
+				_ = rl
+				return &desc{n: src.n, attrs: src.attrs}
+			}
+		}
+		// Data-controlled partition: defer to the grouped-aggregation
+		// lowering if a fold consumes this (Figure 11); otherwise the
+		// plainify fallback materializes it.
+		return &desc{n: sizeD.logical(), logicalN: sizeD.logical(),
+			gpend: &groupPending{part: pi, src: src, n: sizeD.logical()}}
+	}
+	return c.realScatter(s)
+}
+
+// scatPartAttr finds the attribute of src that carries the partition id, so
+// a fold keyed on it can be recognized.
+func (c *compiler) scatPartAttr(src *desc, pi *partInfo) string {
+	for _, a := range src.attrs {
+		if m, ok := genMetaOf(a.ex); ok && pi.meta != nil && m == *pi.meta {
+			return a.name
+		}
+	}
+	return ""
+}
+
+// partitionBehind extracts Partition provenance from a position operand.
+func (c *compiler) partitionBehind(posD *desc, kp string) *partInfo {
+	if posD.part != nil {
+		return posD.part
+	}
+	if a, ok := posD.single(kp); ok {
+		if p, ok := a.ex.(*ePartRef); ok {
+			return p.info
+		}
+	}
+	return nil
+}
+
+// ePartRef lets Partition results travel through Upsert/Zip as ordinary
+// attributes while retaining provenance. It cannot be emitted; consuming it
+// in a plain expression forces bulk materialization.
+type ePartRef struct{ info *partInfo }
+
+func (ePartRef) kind() vector.Kind { return vector.Int }
+
+// groupPending is a virtual scatter over a data-controlled partition,
+// waiting for a fold to lower it as a grouped aggregation.
+type groupPending struct {
+	part *partInfo
+	src  *desc
+	n    int // output (scattered) size
+}
+
+// ctrlOf derives the fold-loop structure from a control attribute.
+func (c *compiler) ctrlOf(d *desc, kp string, n int) foldCtrl {
+	if kp == "" {
+		return foldCtrl{global: true, runLen: n}
+	}
+	a, ok := d.single(kp)
+	if !ok {
+		return foldCtrl{global: true, runLen: n}
+	}
+	if m, ok := genMetaOf(a.ex); ok {
+		if m.IsConstant() {
+			return foldCtrl{global: true, runLen: n}
+		}
+		if rl, ok := m.RunLength(); ok && m.Cap == 0 {
+			return foldCtrl{runLen: rl}
+		}
+		if m.Cap > 1 && m.IntegralStep(1) {
+			// Modulo control directly on an id vector: adjacent values
+			// all differ, so every run has length 1.
+			return foldCtrl{runLen: 1}
+		}
+	}
+	return foldCtrl{unknown: true}
+}

@@ -1,0 +1,78 @@
+package compile
+
+import (
+	"voodoo/internal/kernel"
+	"voodoo/internal/vector"
+)
+
+// densify converts a compact (empty-slot-suppressed) value back into the
+// padded dense layout. Position-sensitive consumers — Gather sources and
+// positions, FoldSelect, FoldScan, folds with non-global control — need the
+// padded index space the interpreter defines.
+//
+// For fold-compact layouts the expansion is pure index arithmetic (slot i
+// holds run i/stride iff i lands on a run start), so no data moves; for
+// group-compact layouts the run starts depend on data (partition counts)
+// and a runtime expansion step materializes the padded buffers.
+func (c *compiler) densify(d *desc) *desc {
+	d = c.emitReady(d)
+	switch d.layout {
+	case layoutDense:
+		return d
+	case layoutFoldCompact:
+		d = c.bufferize(d)
+		stride := max(d.runLen, 1)
+		out := &desc{n: d.logicalN}
+		runIdx := binExpr(kernel.BDiv, theIdx, constI(int64(stride)))
+		onStart := &eBin{op: kernel.BEq,
+			a: binExpr(kernel.BMod, theIdx, constI(int64(stride))),
+			b: constI(0)}
+		for _, a := range d.attrs {
+			ld := a.ex.(*eLoad)
+			var valid expr = onStart
+			if a.validEx != nil {
+				valid = &eBin{op: kernel.BAnd, a: onStart,
+					b: &eLoadValid{buf: ld.buf, idx: runIdx}}
+			}
+			out.attrs = append(out.attrs, attr{
+				name:    a.name,
+				ex:      &eLoad{buf: ld.buf, k: ld.k, idx: runIdx},
+				validEx: valid,
+			})
+		}
+		return out
+	default:
+		// Group-compact (data-dependent run starts) and anything else:
+		// expand through the converter at runtime.
+		return c.expandAtRuntime(d)
+	}
+}
+
+// expandAtRuntime emits a bulk identity step that converts the value to its
+// padded vector form and binds the padded columns to fresh buffers.
+func (c *compiler) expandAtRuntime(d *desc) *desc {
+	conv := c.converter(d)
+	n := d.logical()
+	out := &desc{n: n}
+	var outBufs []int
+	var names []string
+	for _, a := range d.attrs {
+		buf := c.addBuf("expand."+a.name, a.kind(), n, false, true)
+		outBufs = append(outBufs, buf)
+		names = append(names, a.name)
+		out.attrs = append(out.attrs, attr{name: a.name,
+			ex:      &eLoad{buf: buf, k: a.kind(), idx: theIdx},
+			validEx: &eLoadValid{buf: buf, idx: theIdx}})
+	}
+	c.plan.steps = append(c.plan.steps, &bulkStep{
+		name:    "expand",
+		inputs:  []converter{conv},
+		outBufs: outBufs,
+		attrs:   names,
+		evalFn: func(args []*vector.Vector) (*vector.Vector, error) {
+			return args[0], nil
+		},
+		statsFn: bulkStats("expand", false),
+	})
+	return out
+}

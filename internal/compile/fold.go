@@ -1,0 +1,741 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"voodoo/internal/core"
+	"voodoo/internal/kernel"
+	"voodoo/internal/vector"
+)
+
+// addBuf declares a kernel buffer and returns its index.
+func (c *compiler) addBuf(name string, k vector.Kind, size int, valid, input bool) int {
+	c.nbuf++
+	return c.kern.AddBuf(kernel.BufDecl{
+		Name: fmt.Sprintf("%s#%d", name, c.nbuf), Kind: k, Size: size,
+		Valid: valid, Input: input,
+	})
+}
+
+// addFrag appends a fragment both to the kernel (for listings and OpenCL
+// generation) and to the plan's step sequence.
+func (c *compiler) addFrag(f *kernel.Fragment) {
+	c.kern.Frags = append(c.kern.Frags, f)
+	c.plan.steps = append(c.plan.steps, &fragStep{f: f})
+}
+
+// foldOpBin maps a fold operator to its accumulation ALU op.
+func foldOpBin(op core.Op) kernel.BinOp {
+	switch op {
+	case core.OpFoldMin:
+		return kernel.BMin
+	case core.OpFoldMax:
+		return kernel.BMax
+	default:
+		return kernel.BAdd
+	}
+}
+
+// foldIdentity returns the accumulator start value for a fold op: 0 for
+// sums, and an absorbing sentinel for min/max so that masked-out lanes
+// never win.
+func foldIdentity(op core.Op, k vector.Kind) (int64, float64) {
+	switch op {
+	case core.OpFoldMin:
+		if k == vector.Float {
+			return 0, math.Inf(1)
+		}
+		return math.MaxInt64, 0
+	case core.OpFoldMax:
+		if k == vector.Float {
+			return 0, math.Inf(-1)
+		}
+		return math.MinInt64, 0
+	}
+	return 0, 0
+}
+
+// foldSpec is one aggregate of a fused multi-aggregate fold fragment.
+type foldSpec struct {
+	stmt *core.Stmt
+	op   core.Op
+	val  attr
+}
+
+// siblingFolds collects every aggregation fold over the same input and
+// control attribute as s (including s itself), so one fragment computes all
+// of them — one scan instead of one per aggregate, as the paper's compiler
+// fuses Figure 8's folds.
+func (c *compiler) siblingFolds(s *core.Stmt) []*core.Stmt {
+	var out []*core.Stmt
+	for i := range c.prog.Stmts {
+		t := &c.prog.Stmts[i]
+		if t.Op.IsFold() && t.Op != core.OpFoldSelect && t.Op != core.OpFoldScan &&
+			t.Args[0] == s.Args[0] && t.Kp[0] == s.Kp[0] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (c *compiler) compileFold(s *core.Stmt) *desc {
+	if d, ok := c.foldCache[s.ID]; ok {
+		return d
+	}
+	d := c.desc(s.Args[0])
+	switch {
+	case d.filt != nil:
+		return c.fusedFilterFold(s, d)
+	case d.gpend != nil:
+		return c.groupedFold(s, d)
+	case d.layout == layoutScattered:
+		return c.scatteredFold(s, d)
+	}
+	d = c.emitReady(d)
+	// Position-sensitive folds (select, scan) and folds with their own
+	// run structure need the padded index space; value-only global folds
+	// can run directly over the compact form (the suppression hot path).
+	if d.layout != layoutDense &&
+		(s.Op == core.OpFoldSelect || s.Op == core.OpFoldScan || s.Kp[0] != "") {
+		d = c.densify(d)
+	}
+	ctrl := c.ctrlOf(d, s.Kp[0], d.n)
+	if ctrl.unknown {
+		return c.bulk(s)
+	}
+	if ctrl.global {
+		ctrl.runLen = d.n
+	}
+	switch s.Op {
+	case core.OpFoldSelect:
+		sel, ok := d.single(s.FoldVal)
+		if !ok {
+			return c.bulk(s)
+		}
+		pred := selectedPred(sel)
+		return &desc{n: d.n, logicalN: d.logical(),
+			sel: &selInfo{pred: pred, srcN: d.n, ctrl: ctrl, outName: s.Out[0]}}
+	case core.OpFoldScan:
+		return c.plainScan(s, d, ctrl)
+	default:
+		specs := c.specsFor(c.siblingFolds(s), d)
+		stride := ctrl.runLen
+		if d.layout == layoutFoldCompact {
+			stride *= d.runLen
+		}
+		c.multiFold(specs, ctrl.numRuns(d.n), ctrl.runLen, d.n, false,
+			d.logical(), stride)
+		return c.foldCache[s.ID]
+	}
+}
+
+// specsFor resolves the value attribute of each sibling fold against view.
+func (c *compiler) specsFor(stmts []*core.Stmt, view *desc) []foldSpec {
+	var specs []foldSpec
+	for _, t := range stmts {
+		val, ok := view.single(t.FoldVal)
+		if !ok {
+			cerrf("%s: no value attribute %q", t.Op, t.FoldVal)
+		}
+		specs = append(specs, foldSpec{stmt: t, op: t.Op, val: val})
+	}
+	return specs
+}
+
+// selectedPred combines an attribute's value and validity into a single
+// 0/1 predicate: selected iff valid and non-zero.
+func selectedPred(a attr) expr {
+	var nz expr
+	if a.kind() == vector.Float {
+		nz = &eBin{op: kernel.BEq, a: a.ex, b: constF(0)}
+	} else {
+		nz = &eBin{op: kernel.BEq, a: a.ex, b: constI(0)}
+	}
+	// selected = !(v == 0): (v==0) ? 0 : 1
+	sel := &eSel{c: nz, a: constI(0), b: constI(1)}
+	if a.validEx != nil {
+		return &eBin{op: kernel.BAnd, a: a.validEx, b: sel}
+	}
+	return sel
+}
+
+// accState is one fused aggregate's register set during emission.
+type accState struct {
+	spec foldSpec
+	kind vector.Kind
+	acc  kernel.Reg
+	any  kernel.Reg
+	need bool // validity tracking needed
+	iI   int64
+	iF   float64
+	bop  kernel.BinOp
+	out  int // output buffer
+}
+
+// prepareAccs allocates accumulators and output buffers for a fused fold.
+func (c *compiler) prepareAccs(em *emitter, f *kernel.Fragment, specs []foldSpec, slots int) []*accState {
+	var accs []*accState
+	for _, sp := range specs {
+		st := &accState{spec: sp, kind: sp.val.kind(), bop: foldOpBin(sp.op)}
+		st.iI, st.iF = foldIdentity(sp.op, st.kind)
+		st.need = sp.val.validEx != nil || sp.op == core.OpFoldMin || sp.op == core.OpFoldMax
+		st.acc = em.alloc()
+		st.any = em.alloc()
+		st.out = c.addBuf("fold", st.kind, slots, true, false)
+		f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstI, Dst: st.any, Imm: 0})
+		if st.kind == vector.Float {
+			f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstF, Dst: st.acc, FImm: st.iF})
+		} else {
+			f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstI, Dst: st.acc, Imm: st.iI})
+		}
+		accs = append(accs, st)
+	}
+	return accs
+}
+
+// emitAccumulate appends one aggregate's accumulation to the body.
+func (em *emitter) emitAccumulate(st *accState) {
+	ex := st.spec.val.ex
+	if st.spec.val.validEx != nil {
+		var ident expr = constI(st.iI)
+		if st.kind == vector.Float {
+			ident = constF(st.iF)
+		}
+		ex = &eSel{c: st.spec.val.validEx, a: st.spec.val.ex, b: ident}
+	}
+	v := em.emitAs(ex, st.kind)
+	em.push(kernel.Instr{Op: kernel.IBin, BOp: st.bop, Dst: st.acc, A: st.acc, B: v,
+		Float: st.kind == vector.Float})
+	if st.need {
+		var one kernel.Reg
+		if st.spec.val.validEx != nil {
+			one = em.emit(st.spec.val.validEx)
+		} else {
+			one = em.emit(constI(1))
+		}
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: st.any, A: st.any, B: one})
+	}
+}
+
+// flushAccs stores each accumulator at out[gid] with its validity.
+func flushAccs(f *kernel.Fragment, accs []*accState) {
+	for _, st := range accs {
+		store := kernel.Instr{Op: kernel.IStore, Buf: st.out, A: kernel.RegGID, B: st.acc,
+			Float: st.kind == vector.Float, Seq: true}
+		if st.need {
+			store.C = st.any
+		}
+		f.Post = append(f.Post, store)
+	}
+}
+
+// cacheFoldResults registers the per-statement compact output descriptors.
+func (c *compiler) cacheFoldResults(accs []*accState, numRuns, logicalN, stride int) {
+	for _, st := range accs {
+		out := &desc{
+			n: numRuns, layout: layoutFoldCompact,
+			logicalN: logicalN, runLen: stride, countsBuf: -1,
+		}
+		a := attr{name: st.spec.stmt.Out[0],
+			ex: &eLoad{buf: st.out, k: st.kind, idx: theIdx}}
+		if st.need {
+			a.validEx = &eLoadValid{buf: st.out, idx: theIdx}
+		}
+		out.attrs = []attr{a}
+		c.foldCache[st.spec.stmt.ID] = out
+	}
+}
+
+// multiFold emits one fragment computing every sibling aggregate: blocked
+// (or strided) runs, one accumulator set per aggregate, one output slot per
+// run (empty-slot suppression, §3.1.2).
+func (c *compiler) multiFold(specs []foldSpec, numRuns, intent, n int, strided bool,
+	logicalN, stride int) {
+
+	f := &kernel.Fragment{
+		Name:   fmt.Sprintf("fold_%d", specs[0].stmt.ID),
+		Extent: numRuns, Intent: intent, N: n, Strided: strided,
+	}
+	var body []kernel.Instr
+	em := newEmitter(&body)
+	accs := c.prepareAccs(em, f, specs, numRuns)
+	for _, st := range accs {
+		em.emitAccumulate(st)
+	}
+	f.Loops = []kernel.Loop{{Body: body}}
+	flushAccs(f, accs)
+	c.addFrag(f)
+	c.cacheFoldResults(accs, numRuns, logicalN, stride)
+}
+
+// plainScan lowers FoldScan: a running sum per run, one output per element.
+func (c *compiler) plainScan(s *core.Stmt, d *desc, ctrl foldCtrl) *desc {
+	val, ok := d.single(s.FoldVal)
+	if !ok {
+		cerrf("%s: no value attribute %q", s.Op, s.FoldVal)
+	}
+	kind := val.kind()
+	numRuns := ctrl.numRuns(d.n)
+	outBuf := c.addBuf("scan", kind, d.n, val.validEx != nil, false)
+	f := &kernel.Fragment{
+		Name:   fmt.Sprintf("scan_%d", s.ID),
+		Extent: numRuns, Intent: ctrl.runLen, N: d.n,
+	}
+	var body []kernel.Instr
+	em := newEmitter(&body)
+	acc := em.alloc()
+	if kind == vector.Float {
+		f.Pre = []kernel.Instr{{Op: kernel.IConstF, Dst: acc, FImm: 0}}
+	} else {
+		f.Pre = []kernel.Instr{{Op: kernel.IConstI, Dst: acc, Imm: 0}}
+	}
+	ex := val.ex
+	var validR kernel.Reg = kernel.NoReg
+	if val.validEx != nil {
+		var zero expr = constI(0)
+		if kind == vector.Float {
+			zero = constF(0)
+		}
+		ex = &eSel{c: val.validEx, a: val.ex, b: zero}
+		validR = em.emit(val.validEx)
+	}
+	v := em.emitAs(ex, kind)
+	em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: acc, A: acc, B: v, Float: kind == vector.Float})
+	store := kernel.Instr{Op: kernel.IStore, Buf: outBuf, A: kernel.RegIdx, B: acc,
+		Float: kind == vector.Float, Seq: true}
+	if validR != kernel.NoReg {
+		store.C = validR
+	}
+	em.push(store)
+	f.Loops = []kernel.Loop{{Body: body}}
+	c.addFrag(f)
+
+	out := &desc{n: d.n, layout: d.layout, logicalN: d.logicalN, runLen: d.runLen, countsBuf: -1}
+	a := attr{name: s.Out[0], ex: &eLoad{buf: outBuf, k: kind, idx: theIdx}}
+	if val.validEx != nil {
+		a.validEx = &eLoadValid{buf: outBuf, idx: theIdx}
+	}
+	out.attrs = []attr{a}
+	return out
+}
+
+// scatteredFold lowers folds over a virtually scattered vector: work item =
+// lane, iterations stride through the source (paper Figure 4's SIMD
+// pattern). The fold control must be the partition attribute.
+func (c *compiler) scatteredFold(s *core.Stmt, d *desc) *desc {
+	if s.Kp[0] == "" || s.Kp[0] != d.partAttr ||
+		s.Op == core.OpFoldSelect || s.Op == core.OpFoldScan {
+		return c.compileFoldOn(s, c.plainify(d))
+	}
+	srcView := &desc{n: d.logicalN, attrs: d.attrs}
+	specs := c.specsFor(c.siblingFolds(s), srcView)
+	c.multiFold(specs, d.lanes, d.runLen, d.logicalN, true, d.logicalN, d.runLen)
+	return c.foldCache[s.ID]
+}
+
+// compileFoldOn re-runs fold compilation against a replacement descriptor.
+func (c *compiler) compileFoldOn(s *core.Stmt, d *desc) *desc {
+	saved := c.descs[s.Args[0]]
+	c.descs[s.Args[0]] = d
+	out := c.compileFold(s)
+	c.descs[s.Args[0]] = saved
+	return out
+}
+
+// fusedFilterFold fuses FoldSelect → Gather → folds into a single fragment
+// (paper Figures 8/9): each work item scans its run, selects qualifying
+// positions, and aggregates the gathered values — with either a
+// data-dependent branch (IGuard) or cursor arithmetic (predication). A
+// second fragment reduces the per-run partials.
+func (c *compiler) fusedFilterFold(s *core.Stmt, d *desc) *desc {
+	if s.Op == core.OpFoldSelect || s.Op == core.OpFoldScan || s.Kp[0] != "" {
+		return c.compileFoldOn(s, c.plainify(d))
+	}
+	fi := d.filt
+	srcN := fi.sel.srcN
+	ctrl := fi.sel.ctrl
+	if ctrl.global {
+		ctrl.runLen = srcN
+	}
+	numRuns := ctrl.numRuns(srcN)
+
+	view := &desc{n: srcN, attrs: fi.attrs}
+	specs := c.specsFor(c.siblingFolds(s), view)
+
+	f := &kernel.Fragment{
+		Name:   fmt.Sprintf("ffold_%d", s.ID),
+		Extent: numRuns, Intent: ctrl.runLen, N: srcN,
+	}
+	var loop1 []kernel.Instr
+	em := newEmitter(&loop1)
+	accs := c.prepareAccs(em, f, specs, numRuns)
+	cursor := em.alloc()
+	f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstI, Dst: cursor, Imm: 0})
+
+	var loop2 []kernel.Instr
+	var cursorBound kernel.Reg = kernel.NoReg
+	if !c.opt.Predication {
+		// Branching: guard on the predicate, then gather and fold the
+		// qualifying element directly — no position list exists at all.
+		pred := em.emit(fi.sel.pred)
+		em.push(kernel.Instr{Op: kernel.IGuard, A: pred})
+		em.memo[expr(thePos)] = kernel.RegIdx
+		for _, st := range accs {
+			em.emitAccumulate(st)
+		}
+	} else {
+		// Predication: loop 1 unconditionally writes each position into
+		// the run-local buffer and advances the cursor by the predicate
+		// (Ross-style cursor arithmetic); loop 2 walks only the cursor
+		// prefix, gathering and folding. The local buffer is the
+		// intermediate whose size the control vector tunes — run length
+		// = cache-sized chunks gives the paper's "vectorized" variant.
+		f.Locals = ctrl.runLen
+		pred := em.emit(fi.sel.pred)
+		em.push(kernel.Instr{Op: kernel.IStoreLoc, A: cursor, B: kernel.RegIdx})
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: cursor, A: cursor, B: pred})
+
+		em.to(&loop2)
+		em.invalidateIdx()
+		pos := em.alloc()
+		em.push(kernel.Instr{Op: kernel.ILoadLoc, Dst: pos, A: kernel.RegIV})
+		em.memo[expr(thePos)] = pos
+		for _, st := range accs {
+			em.emitAccumulate(st)
+		}
+		cursorBound = cursor
+	}
+	// Per-run partials carry validity: runs that selected nothing stay ε.
+	// Aggregates whose inputs carry their own validity keep their exact
+	// counts; the rest share the selected-row count.
+	var selCount kernel.Reg
+	if c.opt.Predication {
+		selCount = cursor // the cursor is the selected count
+	} else {
+		selCount = em.alloc()
+		f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstI, Dst: selCount, Imm: 0})
+		one := em.emit(constI(1))
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: selCount, A: selCount, B: one})
+	}
+	for _, st := range accs {
+		if !st.need {
+			st.need = true
+			st.any = selCount
+		}
+	}
+	// Assign loop bodies only now: earlier assignment would capture stale
+	// slice headers while emission still appends.
+	if cursorBound == kernel.NoReg {
+		f.Loops = []kernel.Loop{{Body: loop1}}
+	} else {
+		f.Loops = []kernel.Loop{
+			{Body: loop1},
+			{BoundReg: cursorBound, Body: loop2},
+		}
+	}
+	flushAccs(f, accs)
+	c.addFrag(f)
+
+	if numRuns == 1 {
+		c.cacheFoldResults(accs, 1, srcN, srcN)
+		return c.foldCache[s.ID]
+	}
+	c.reduceCompact(accs, numRuns, srcN)
+	return c.foldCache[s.ID]
+}
+
+// reduceCompact emits one sequential fragment reducing every aggregate's
+// per-run partials to a single slot (the paper's Fragment 2 in Figure 8).
+func (c *compiler) reduceCompact(accs []*accState, numRuns, logicalN int) {
+	f := &kernel.Fragment{
+		Name:   fmt.Sprintf("reduce_%d", accs[0].spec.stmt.ID),
+		Extent: 1, Intent: numRuns, N: numRuns,
+	}
+	var body []kernel.Instr
+	em := newEmitter(&body)
+	type rstate struct {
+		acc, any kernel.Reg
+		out      int
+	}
+	var rs []rstate
+	for _, st := range accs {
+		r := rstate{acc: em.alloc(), any: em.alloc()}
+		r.out = c.addBuf("reduce", st.kind, 1, true, false)
+		f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstI, Dst: r.any, Imm: 0})
+		if st.kind == vector.Float {
+			f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstF, Dst: r.acc, FImm: st.iF})
+		} else {
+			f.Pre = append(f.Pre, kernel.Instr{Op: kernel.IConstI, Dst: r.acc, Imm: st.iI})
+		}
+		rs = append(rs, r)
+	}
+	for i, st := range accs {
+		valid := &eLoadValid{buf: st.out, idx: theIdx}
+		var ident expr = constI(st.iI)
+		if st.kind == vector.Float {
+			ident = constF(st.iF)
+		}
+		ex := &eSel{c: valid, a: &eLoad{buf: st.out, k: st.kind, idx: theIdx}, b: ident}
+		v := em.emitAs(ex, st.kind)
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: st.bop, Dst: rs[i].acc, A: rs[i].acc, B: v,
+			Float: st.kind == vector.Float})
+		vr := em.emit(valid)
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: rs[i].any, A: rs[i].any, B: vr})
+	}
+	f.Loops = []kernel.Loop{{Body: body}}
+	zero := em.alloc()
+	f.Post = append(f.Post, kernel.Instr{Op: kernel.IConstI, Dst: zero, Imm: 0})
+	for i, st := range accs {
+		f.Post = append(f.Post, kernel.Instr{Op: kernel.IStore, Buf: rs[i].out, A: zero,
+			B: rs[i].acc, C: rs[i].any, Float: st.kind == vector.Float, Seq: true})
+	}
+	c.addFrag(f)
+	for i, st := range accs {
+		out := &desc{n: 1, layout: layoutFoldCompact, logicalN: logicalN, runLen: logicalN, countsBuf: -1}
+		out.attrs = []attr{{name: st.spec.stmt.Out[0],
+			ex:      &eLoad{buf: rs[i].out, k: st.kind, idx: theIdx},
+			validEx: &eLoadValid{buf: rs[i].out, idx: theIdx}}}
+		c.foldCache[st.spec.stmt.ID] = out
+	}
+}
+
+// groupedFold lowers folds over a virtual scatter with data-controlled
+// partitions — the paper's Figure 11 grouped aggregation. Work items keep a
+// private accumulator (and count) per partition and aggregate; a second
+// fragment reduces the partials.
+func (c *compiler) groupedFold(s *core.Stmt, d *desc) *desc {
+	gp := d.gpend
+	if s.Op == core.OpFoldSelect || s.Op == core.OpFoldScan {
+		return c.compileFoldOn(s, c.plainify(d))
+	}
+	ctrlAttr, ok := gp.src.single(s.Kp[0])
+	if !ok || ctrlAttr.ex != gp.part.valEx {
+		return c.compileFoldOn(s, c.plainify(d))
+	}
+	specs := c.specsFor(c.siblingFolds(s), gp.src)
+	k := gp.part.k
+	srcN := gp.part.srcN
+	nA := len(specs)
+
+	// Locals are float if any aggregate is (counts stay exact ≤ 2^53).
+	anyFloat := false
+	for _, sp := range specs {
+		if sp.val.kind() == vector.Float {
+			anyFloat = true
+		}
+	}
+	lkind := vector.Int
+	if anyFloat {
+		lkind = vector.Float
+	}
+
+	P := min(c.opt.groupExtent(), max(1, srcN/max(k, 1)))
+	if P < 1 {
+		P = 1
+	}
+	// Per work item: for each aggregate, k sums then k counts; then k raw
+	// occupancy slots counting every scattered row (including ε rows,
+	// which the interpreter places in the zero-valued partition) so the
+	// padded layout expands exactly as the interpreter's.
+	width := 2*k*nA + k
+	partials := c.addBuf("gpart", lkind, P*width, false, false)
+	f := &kernel.Fragment{
+		Name:   fmt.Sprintf("gfold_%d", s.ID),
+		Extent: P, Intent: (srcN + P - 1) / P, N: srcN,
+		Locals: width, LocalsFloat: anyFloat, LocalsInit: 0,
+	}
+	var body []kernel.Instr
+	em := newEmitter(&body)
+	// Raw occupancy first (before any guard): ε rows read group zero, as
+	// the interpreter's Partition does.
+	g0ex := gp.part.valEx
+	if ctrlAttr.validEx != nil {
+		g0ex = &eSel{c: ctrlAttr.validEx, a: gp.part.valEx, b: constI(0)}
+	}
+	g0 := em.emitAs(g0ex, vector.Int)
+	occBase := em.emit(constI(int64(2 * k * nA)))
+	occIdx := em.alloc()
+	em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: occIdx, A: occBase, B: g0})
+	occOld := em.alloc()
+	em.push(kernel.Instr{Op: kernel.ILoadLoc, Dst: occOld, A: occIdx, Float: anyFloat})
+	occOne := em.emit(constI(1))
+	occInc := occOne
+	if anyFloat {
+		occInc = em.alloc()
+		em.push(kernel.Instr{Op: kernel.ICastIF, Dst: occInc, A: occOne})
+	}
+	occNew := em.alloc()
+	em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: occNew, A: occOld, B: occInc, Float: anyFloat})
+	em.push(kernel.Instr{Op: kernel.IStoreLoc, A: occIdx, B: occNew, Float: anyFloat})
+	// Rows whose group id is ε (padding from an upstream selection, or a
+	// missed join) belong to no group: skip them before touching the
+	// aggregate accumulators.
+	if ctrlAttr.validEx != nil {
+		gv := em.emit(ctrlAttr.validEx)
+		em.push(kernel.Instr{Op: kernel.IGuard, A: gv})
+	}
+	g := em.emit(gp.part.valEx)
+
+	for ai, sp := range specs {
+		iI, iF := foldIdentity(sp.op, lkind)
+		bop := foldOpBin(sp.op)
+		base := em.emit(constI(int64(2 * k * ai)))
+		slot := em.alloc()
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: slot, A: base, B: g})
+		kOff := em.emit(constI(int64(k)))
+		cntIdx := em.alloc()
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: cntIdx, A: slot, B: kOff})
+		cnt := em.alloc()
+		em.push(kernel.Instr{Op: kernel.ILoadLoc, Dst: cnt, A: cntIdx, Float: anyFloat})
+
+		validR := kernel.NoReg
+		ex := sp.val.ex
+		if sp.val.validEx != nil {
+			validR = em.emit(sp.val.validEx)
+			var ident expr = constI(iI)
+			if lkind == vector.Float {
+				ident = constF(iF)
+			}
+			ex = &eSel{c: sp.val.validEx, a: sp.val.ex, b: ident}
+		}
+		v := em.emitAs(ex, lkind)
+		old := em.alloc()
+		em.push(kernel.Instr{Op: kernel.ILoadLoc, Dst: old, A: slot, Float: anyFloat})
+		merged := em.alloc()
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: bop, Dst: merged, A: old, B: v, Float: anyFloat})
+		if sp.op != core.OpFoldSum {
+			cntI := cnt
+			if anyFloat {
+				cntI = em.alloc()
+				em.push(kernel.Instr{Op: kernel.ICastFI, Dst: cntI, A: cnt})
+			}
+			em.push(kernel.Instr{Op: kernel.ISel, Dst: merged, A: cntI, B: merged, C: v, Float: anyFloat})
+		}
+		em.push(kernel.Instr{Op: kernel.IStoreLoc, A: slot, B: merged, Float: anyFloat})
+		inc := em.emit(constI(1))
+		if validR != kernel.NoReg {
+			inc = validR
+		}
+		if anyFloat {
+			fi := em.alloc()
+			em.push(kernel.Instr{Op: kernel.ICastIF, Dst: fi, A: inc})
+			inc = fi
+		}
+		newCnt := em.alloc()
+		em.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: newCnt, A: cnt, B: inc, Float: anyFloat})
+		em.push(kernel.Instr{Op: kernel.IStoreLoc, A: cntIdx, B: newCnt, Float: anyFloat})
+	}
+	f.Loops = []kernel.Loop{{Body: body}}
+
+	// Post-loop: partials[gid*width + j] = loc[j].
+	var post []kernel.Instr
+	pe := newEmitter(&post)
+	wReg := pe.emit(constI(int64(width)))
+	slot := pe.alloc()
+	pe.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BMul, Dst: slot, A: kernel.RegGID, B: wReg})
+	pe.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: slot, A: slot, B: kernel.RegJ})
+	lv := pe.alloc()
+	pe.push(kernel.Instr{Op: kernel.ILoadLoc, Dst: lv, A: kernel.RegJ, Float: anyFloat})
+	pe.push(kernel.Instr{Op: kernel.IStore, Buf: partials, A: slot, B: lv, Float: anyFloat, Seq: true})
+	f.PostLoopBody = post
+	c.addFrag(f)
+
+	// Reduction: one fragment, extent = k work items; each reduces its
+	// group's P partials for every aggregate.
+	rf := &kernel.Fragment{
+		Name:   fmt.Sprintf("greduce_%d", s.ID),
+		Extent: k, Intent: P,
+	}
+	var rbody []kernel.Instr
+	rem := newEmitter(&rbody)
+	counts := c.addBuf("gcnt", vector.Int, k, false, false)
+	type gout struct {
+		acc, any kernel.Reg
+		sums     int
+		kind     vector.Kind
+	}
+	var gouts []gout
+	for _, sp := range specs {
+		o := gout{acc: rem.alloc(), any: rem.alloc(), kind: sp.val.kind()}
+		o.sums = c.addBuf("gsum", o.kind, k, true, false)
+		iI, iF := foldIdentity(sp.op, lkind)
+		rf.Pre = append(rf.Pre, kernel.Instr{Op: kernel.IConstI, Dst: o.any, Imm: 0})
+		if anyFloat {
+			rf.Pre = append(rf.Pre, kernel.Instr{Op: kernel.IConstF, Dst: o.acc, FImm: iF})
+		} else {
+			rf.Pre = append(rf.Pre, kernel.Instr{Op: kernel.IConstI, Dst: o.acc, Imm: iI})
+		}
+		gouts = append(gouts, o)
+	}
+	// base = iv*width
+	wR := rem.emit(constI(int64(width)))
+	base := rem.alloc()
+	rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BMul, Dst: base, A: kernel.RegIV, B: wR})
+	for ai, sp := range specs {
+		o := &gouts[ai]
+		off := rem.emit(constI(int64(2 * k * ai)))
+		vi := rem.alloc()
+		rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: vi, A: base, B: off})
+		rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: vi, A: vi, B: kernel.RegGID})
+		rv := rem.alloc()
+		rem.push(kernel.Instr{Op: kernel.ILoad, Dst: rv, A: vi, Buf: partials, Float: anyFloat, Seq: true})
+		kR := rem.emit(constI(int64(k)))
+		ci := rem.alloc()
+		rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: ci, A: vi, B: kR})
+		rc := rem.alloc()
+		rem.push(kernel.Instr{Op: kernel.ILoad, Dst: rc, A: ci, Buf: partials, Float: anyFloat, Seq: true})
+		rcI := rc
+		if anyFloat {
+			rcI = rem.alloc()
+			rem.push(kernel.Instr{Op: kernel.ICastFI, Dst: rcI, A: rc})
+		}
+		rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: o.any, A: o.any, B: rcI})
+		merged := rem.alloc()
+		rem.push(kernel.Instr{Op: kernel.IBin, BOp: foldOpBin(sp.op), Dst: merged, A: o.acc, B: rv, Float: anyFloat})
+		rem.push(kernel.Instr{Op: kernel.ISel, Dst: o.acc, A: rcI, B: merged, C: o.acc, Float: anyFloat})
+	}
+	for ai, sp := range specs {
+		o := &gouts[ai]
+		accOut := o.acc
+		if sp.val.kind() != lkind {
+			// Locals ran in float space; cast integer results back.
+			cast := rem.alloc()
+			rf.Post = append(rf.Post, kernel.Instr{Op: kernel.ICastFI, Dst: cast, A: o.acc})
+			accOut = cast
+		}
+		rf.Post = append(rf.Post, kernel.Instr{Op: kernel.IStore, Buf: o.sums, A: kernel.RegGID,
+			B: accOut, C: o.any, Float: sp.val.kind() == vector.Float, Seq: true})
+	}
+	// Occupancy reduce: counts[g] = Σ over work items of occ[g].
+	occAcc := rem.alloc()
+	rf.Pre = append(rf.Pre, kernel.Instr{Op: kernel.IConstI, Dst: occAcc, Imm: 0})
+	occOff := rem.emit(constI(int64(2 * k * nA)))
+	oi := rem.alloc()
+	rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: oi, A: base, B: occOff})
+	rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: oi, A: oi, B: kernel.RegGID})
+	ov := rem.alloc()
+	rem.push(kernel.Instr{Op: kernel.ILoad, Dst: ov, A: oi, Buf: partials, Float: anyFloat, Seq: true})
+	ovI := ov
+	if anyFloat {
+		ovI = rem.alloc()
+		rem.push(kernel.Instr{Op: kernel.ICastFI, Dst: ovI, A: ov})
+	}
+	rem.push(kernel.Instr{Op: kernel.IBin, BOp: kernel.BAdd, Dst: occAcc, A: occAcc, B: ovI})
+	rf.Loops = []kernel.Loop{{Body: rbody}}
+	rf.Post = append(rf.Post, kernel.Instr{Op: kernel.IStore, Buf: counts, A: kernel.RegGID,
+		B: occAcc, Seq: true})
+	c.addFrag(rf)
+
+	for ai, sp := range specs {
+		out := &desc{
+			n: k, layout: layoutGroupCompact,
+			logicalN: gp.n, countsBuf: counts,
+		}
+		out.attrs = []attr{{name: sp.stmt.Out[0],
+			ex:      &eLoad{buf: gouts[ai].sums, k: sp.val.kind(), idx: theIdx},
+			validEx: &eLoadValid{buf: gouts[ai].sums, idx: theIdx}}}
+		c.foldCache[sp.stmt.ID] = out
+	}
+	return c.foldCache[s.ID]
+}

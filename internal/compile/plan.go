@@ -1,0 +1,247 @@
+package compile
+
+import (
+	"fmt"
+
+	"voodoo/internal/core"
+	"voodoo/internal/exec"
+	"voodoo/internal/kernel"
+	"voodoo/internal/vector"
+)
+
+// Plan is a compiled, executable Voodoo program.
+type Plan struct {
+	prog *core.Program
+	st   Storage
+	opt  Options
+	kern *kernel.Kernel
+
+	steps   []step
+	outputs []output
+
+	// CollectStats makes Run count instruction/memory/branch events,
+	// which device cost models convert into simulated times.
+	CollectStats bool
+}
+
+// Kernel exposes the generated kernel (fragment listing, OpenCL source
+// generation).
+func (p *Plan) Kernel() *kernel.Kernel { return p.kern }
+
+type output struct {
+	ref  core.Ref
+	conv converter
+}
+
+// Result holds root values (in the interpreter's padded layout) and, when
+// requested, the execution event counts.
+type Result struct {
+	Values map[core.Ref]*vector.Vector
+	Stats  exec.Stats
+}
+
+// runtime is the mutable state of one plan execution.
+type runtime struct {
+	plan  *Plan
+	env   *exec.Env
+	stats *exec.Stats
+}
+
+type step interface {
+	run(rt *runtime) error
+}
+
+// bindStep attaches a storage column to an input buffer.
+type bindStep struct {
+	buf int
+	col *vector.Column
+}
+
+func (s *bindStep) run(rt *runtime) error {
+	rt.env.Bufs[s.buf] = exec.FromColumn(s.col)
+	return nil
+}
+
+// fragStep executes one kernel fragment.
+type fragStep struct {
+	f *kernel.Fragment
+}
+
+func (s *fragStep) run(rt *runtime) error {
+	var fs *exec.FragStats
+	if rt.stats != nil {
+		si, sf := s.f.StaticBodyOps()
+		rt.stats.Frags = append(rt.stats.Frags, exec.FragStats{
+			Name: s.f.Name, Extent: s.f.Extent, Intent: s.f.Intent,
+			Sequential: s.f.Sequential(), LocalBytes: int64(s.f.Locals) * 8,
+			StaticIntOps: si, StaticFloatOps: sf,
+		})
+		fs = &rt.stats.Frags[len(rt.stats.Frags)-1]
+	}
+	return exec.RunFragment(s.f, rt.env, rt.plan.opt.Workers, fs)
+}
+
+// bulkStep evaluates one statement with interpreter semantics: inputs are
+// converted to vectors, the mini-program runs, and output columns are bound
+// to pre-declared buffers. Bulk steps are the compiler's semantic safety
+// net and the execution model of the Ocelot baseline.
+type bulkStep struct {
+	name    string
+	inputs  []converter
+	outBufs []int    // one per output attribute, in attrs order
+	attrs   []string // output attribute names
+	evalFn  func(args []*vector.Vector) (*vector.Vector, error)
+	statsFn func(args []*vector.Vector, out *vector.Vector) exec.FragStats
+}
+
+func (s *bulkStep) run(rt *runtime) error {
+	args := make([]*vector.Vector, len(s.inputs))
+	for i, conv := range s.inputs {
+		v, err := conv(rt)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	out, err := s.evalFn(args)
+	if err != nil {
+		return fmt.Errorf("bulk %s: %w", s.name, err)
+	}
+	for i, name := range s.attrs {
+		col := out.Col(name)
+		if col == nil {
+			return fmt.Errorf("bulk %s: missing output attribute %q", s.name, name)
+		}
+		rt.env.Bufs[s.outBufs[i]] = exec.FromColumn(col)
+	}
+	if rt.stats != nil && s.statsFn != nil {
+		rt.stats.Frags = append(rt.stats.Frags, s.statsFn(args, out))
+	}
+	return nil
+}
+
+// persistStep writes a converted value back to storage.
+type persistStep struct {
+	name string
+	conv converter
+}
+
+func (s *persistStep) run(rt *runtime) error {
+	v, err := s.conv(rt)
+	if err != nil {
+		return err
+	}
+	return rt.plan.st.PersistVector(s.name, v)
+}
+
+// Run executes the plan and returns the root values.
+func (p *Plan) Run() (*Result, error) {
+	rt := &runtime{plan: p, env: exec.NewEnv(p.kern)}
+	res := &Result{Values: map[core.Ref]*vector.Vector{}}
+	if p.CollectStats {
+		rt.stats = &res.Stats
+	}
+	for _, s := range p.steps {
+		if err := s.run(rt); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range p.outputs {
+		v, err := o.conv(rt)
+		if err != nil {
+			return nil, err
+		}
+		res.Values[o.ref] = v
+	}
+	return res, nil
+}
+
+// converter produces the interpreter-layout vector for a compiled value at
+// runtime.
+type converter func(rt *runtime) (*vector.Vector, error)
+
+// converter builds the conversion closure for a descriptor, emitting any
+// materialization fragments needed (at compile time).
+func (c *compiler) converter(d *desc) converter {
+	d = c.bufferize(c.emitReady(d))
+	type slot struct {
+		name  string
+		buf   int
+		valid bool
+	}
+	var slots []slot
+	for _, a := range d.attrs {
+		ld := a.ex.(*eLoad)
+		slots = append(slots, slot{name: a.name, buf: ld.buf, valid: a.validEx != nil})
+	}
+	layout, logicalN, stride, countsBuf := d.layout, d.logicalN, d.runLen, d.countsBuf
+	n := d.n
+
+	return func(rt *runtime) (*vector.Vector, error) {
+		switch layout {
+		case layoutDense:
+			out := vector.New(n)
+			for _, s := range slots {
+				out.Set(s.name, rt.env.Bufs[s.buf].Column())
+			}
+			return out, nil
+		case layoutFoldCompact:
+			// Expand the suppressed layout: run r sits at padded
+			// position r*stride (paper §3.1.2 in reverse).
+			out := vector.New(logicalN)
+			for _, s := range slots {
+				compact := rt.env.Bufs[s.buf]
+				var col *vector.Column
+				if compact.Kind == vector.Int {
+					col = vector.NewEmptyInt(logicalN)
+				} else {
+					col = vector.NewEmptyFloat(logicalN)
+				}
+				for r := 0; r < compact.Len(); r++ {
+					pos := r * stride
+					if pos >= logicalN {
+						break
+					}
+					if compact.Valid != nil && !compact.Valid[r] {
+						continue
+					}
+					if compact.Kind == vector.Int {
+						col.SetInt(pos, compact.I[r])
+					} else {
+						col.SetFloat(pos, compact.F[r])
+					}
+				}
+				out.Set(s.name, col)
+			}
+			return out, nil
+		case layoutGroupCompact:
+			// Partition p sits at the prefix sum of the counts.
+			counts := rt.env.Bufs[countsBuf].I
+			out := vector.New(logicalN)
+			for _, s := range slots {
+				compact := rt.env.Bufs[s.buf]
+				var col *vector.Column
+				if compact.Kind == vector.Int {
+					col = vector.NewEmptyInt(logicalN)
+				} else {
+					col = vector.NewEmptyFloat(logicalN)
+				}
+				pos := 0
+				for p := 0; p < compact.Len(); p++ {
+					if counts[p] > 0 && pos < logicalN &&
+						(compact.Valid == nil || compact.Valid[p]) {
+						if compact.Kind == vector.Int {
+							col.SetInt(pos, compact.I[p])
+						} else {
+							col.SetFloat(pos, compact.F[p])
+						}
+					}
+					pos += int(counts[p])
+				}
+				out.Set(s.name, col)
+			}
+			return out, nil
+		}
+		return nil, fmt.Errorf("compile: cannot convert layout %d", layout)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+// Builder assembles Voodoo programs with an API mirroring the paper's SSA
+// notation (Figure 3). All methods append one statement (macros may append a
+// few) and return its Ref.
+//
+// Keypath conventions: the empty keypath "" designates the operand's single
+// attribute (for vectors with exactly one) and, as a fold control attribute,
+// "a single global run". Unless stated otherwise, value-producing operators
+// name their output attribute "val".
+type Builder struct {
+	p Program
+}
+
+// DefaultOut is the attribute name given to the result of value-producing
+// operators.
+const DefaultOut = "val"
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Program finalizes and returns the built program.
+func (b *Builder) Program() *Program { return &b.p }
+
+// Label attaches a diagnostic SSA name to statement r and returns r.
+func (b *Builder) Label(r Ref, name string) Ref {
+	b.p.Stmts[r].Label = name
+	return r
+}
+
+// Load loads the persistent vector stored under name.
+func (b *Builder) Load(name string) Ref {
+	return b.p.Add(Stmt{Op: OpLoad, Name: name})
+}
+
+// Persist stores v under name in persistent storage.
+func (b *Builder) Persist(name string, v Ref) Ref {
+	return b.p.Add(Stmt{Op: OpPersist, Name: name, Args: []Ref{v}, Kp: []string{""}})
+}
+
+// Constant produces a one-slot integer vector; one-slot vectors broadcast in
+// data-parallel operations.
+func (b *Builder) Constant(v int64) Ref {
+	return b.p.Add(Stmt{Op: OpConstant, IntVal: v, Out: []string{DefaultOut}})
+}
+
+// ConstantF produces a one-slot float vector.
+func (b *Builder) ConstantF(v float64) Ref {
+	return b.p.Add(Stmt{Op: OpConstant, FloatVal: v, IsFloat: true, Out: []string{DefaultOut}})
+}
+
+// Range produces ids 0,1,2,... with the length of v.
+func (b *Builder) Range(v Ref) Ref { return b.RangeOf(0, v, 1) }
+
+// RangeOf produces from, from+step, ... with the length of v.
+func (b *Builder) RangeOf(from int64, v Ref, step int64) Ref {
+	return b.p.Add(Stmt{Op: OpRange, IntVal: from, Step: step,
+		Args: []Ref{v}, Kp: []string{""}, Out: []string{DefaultOut}})
+}
+
+// RangeN produces from, from+step, ... with literal length n.
+func (b *Builder) RangeN(from int64, n int, step int64) Ref {
+	return b.p.Add(Stmt{Op: OpRange, IntVal: from, Step: step, Size: n, Out: []string{DefaultOut}})
+}
+
+// Cross produces the cross product of the positions of v1 and v2 as
+// attributes out1 and out2.
+func (b *Builder) Cross(out1 string, v1 Ref, out2 string, v2 Ref) Ref {
+	return b.p.Add(Stmt{Op: OpCross, Args: []Ref{v1, v2}, Kp: []string{"", ""}, Out: []string{out1, out2}})
+}
+
+// Arith applies the binary operator op to a.akp and c.ckp, producing
+// attribute out. One-slot operands broadcast.
+func (b *Builder) Arith(op Op, out string, a Ref, akp string, c Ref, ckp string) Ref {
+	if !op.IsArith() {
+		panic("core: Arith requires an arithmetic/logical/comparison op")
+	}
+	return b.p.Add(Stmt{Op: op, Args: []Ref{a, c}, Kp: []string{akp, ckp}, Out: []string{out}})
+}
+
+// The binary convenience wrappers operate on single-attribute operands.
+
+func (b *Builder) Add(a, c Ref) Ref      { return b.Arith(OpAdd, DefaultOut, a, "", c, "") }
+func (b *Builder) Subtract(a, c Ref) Ref { return b.Arith(OpSubtract, DefaultOut, a, "", c, "") }
+func (b *Builder) Multiply(a, c Ref) Ref { return b.Arith(OpMultiply, DefaultOut, a, "", c, "") }
+func (b *Builder) Divide(a, c Ref) Ref   { return b.Arith(OpDivide, DefaultOut, a, "", c, "") }
+func (b *Builder) Modulo(a, c Ref) Ref   { return b.Arith(OpModulo, DefaultOut, a, "", c, "") }
+func (b *Builder) BitShift(a, c Ref) Ref { return b.Arith(OpBitShift, DefaultOut, a, "", c, "") }
+func (b *Builder) And(a, c Ref) Ref      { return b.Arith(OpLogicalAnd, DefaultOut, a, "", c, "") }
+func (b *Builder) Or(a, c Ref) Ref       { return b.Arith(OpLogicalOr, DefaultOut, a, "", c, "") }
+func (b *Builder) Greater(a, c Ref) Ref  { return b.Arith(OpGreater, DefaultOut, a, "", c, "") }
+func (b *Builder) Equals(a, c Ref) Ref   { return b.Arith(OpEquals, DefaultOut, a, "", c, "") }
+
+// GreaterEqual is a macro: a >= c  ≡  (a > c) OR (a == c).
+func (b *Builder) GreaterEqual(a Ref, akp string, c Ref, ckp string) Ref {
+	gt := b.Arith(OpGreater, DefaultOut, a, akp, c, ckp)
+	eq := b.Arith(OpEquals, DefaultOut, a, akp, c, ckp)
+	return b.Or(gt, eq)
+}
+
+// Less is a macro: a < c  ≡  c > a.
+func (b *Builder) Less(a Ref, akp string, c Ref, ckp string) Ref {
+	return b.Arith(OpGreater, DefaultOut, c, ckp, a, akp)
+}
+
+// Zip creates a new vector with subtree v1.kp1 as out1 and v2.kp2 as out2.
+func (b *Builder) Zip(out1 string, v1 Ref, kp1, out2 string, v2 Ref, kp2 string) Ref {
+	return b.p.Add(Stmt{Op: OpZip, Args: []Ref{v1, v2}, Kp: []string{kp1, kp2}, Out: []string{out1, out2}})
+}
+
+// Project creates a new vector with subtree v.kp as out.
+func (b *Builder) Project(out string, v Ref, kp string) Ref {
+	return b.p.Add(Stmt{Op: OpProject, Args: []Ref{v}, Kp: []string{kp}, Out: []string{out}})
+}
+
+// Upsert copies v1 and replaces or inserts attribute out with v2.kp
+// (one-slot v2 broadcasts).
+func (b *Builder) Upsert(v1 Ref, out string, v2 Ref, kp string) Ref {
+	return b.p.Add(Stmt{Op: OpUpsert, Args: []Ref{v1, v2}, Kp: []string{"", kp}, Out: []string{out}})
+}
+
+// Gather creates a vector of the size of v2 by resolving positions v2.pos in
+// v1. Out-of-bounds positions produce empty slots.
+func (b *Builder) Gather(v1, v2 Ref, pos string) Ref {
+	return b.p.Add(Stmt{Op: OpGather, Args: []Ref{v1, v2}, Kp: []string{"", pos}})
+}
+
+// Scatter creates a vector of the size of v2, placing each item of v1 at
+// position v3.pos. Writes are ordered within value-runs of v2.runKp.
+func (b *Builder) Scatter(v1, v2 Ref, runKp string, v3 Ref, pos string) Ref {
+	return b.p.Add(Stmt{Op: OpScatter, Args: []Ref{v1, v2, v3}, Kp: []string{"", runKp, pos}})
+}
+
+// Materialize forces v1 into memory, chunked according to the runs of
+// v2.runKp.
+func (b *Builder) Materialize(v1, v2 Ref, runKp string) Ref {
+	return b.p.Add(Stmt{Op: OpMaterialize, Args: []Ref{v1, v2}, Kp: []string{"", runKp}})
+}
+
+// Break breaks v1 into segments according to the runs in v2.kp. It is a pure
+// tuning hint: semantically the identity, but a pipeline breaker for
+// compiling backends.
+func (b *Builder) Break(v1, v2 Ref, kp string) Ref {
+	return b.p.Add(Stmt{Op: OpBreak, Args: []Ref{v1, v2}, Kp: []string{"", kp}})
+}
+
+// Partition generates (as attribute out) the stable scatter position vector
+// that partitions v1.vkp according to the sorted pivot list v2.pivotKp.
+func (b *Builder) Partition(out string, v1 Ref, vkp string, v2 Ref, pivotKp string) Ref {
+	return b.p.Add(Stmt{Op: OpPartition, Args: []Ref{v1, v2}, Kp: []string{vkp, pivotKp}, Out: []string{out}})
+}
+
+// fold appends a controlled fold. foldKp "" means one global run.
+func (b *Builder) fold(op Op, out string, v Ref, foldKp, valKp string) Ref {
+	return b.p.Add(Stmt{Op: op, Args: []Ref{v}, Kp: []string{foldKp}, FoldVal: valKp, Out: []string{out}})
+}
+
+// FoldSelect emits, per run of v.foldKp, the positions of slots whose
+// selection attribute selKp is non-zero, aligned to run starts, ε-padded.
+func (b *Builder) FoldSelect(v Ref, foldKp, selKp string) Ref {
+	return b.fold(OpFoldSelect, DefaultOut, v, foldKp, selKp)
+}
+
+// FoldSum sums v.valKp per run of v.foldKp (paper Figure 7).
+func (b *Builder) FoldSum(v Ref, foldKp, valKp string) Ref {
+	return b.fold(OpFoldSum, DefaultOut, v, foldKp, valKp)
+}
+
+// FoldMin computes the per-run minimum of v.valKp.
+func (b *Builder) FoldMin(v Ref, foldKp, valKp string) Ref {
+	return b.fold(OpFoldMin, DefaultOut, v, foldKp, valKp)
+}
+
+// FoldMax computes the per-run maximum of v.valKp.
+func (b *Builder) FoldMax(v Ref, foldKp, valKp string) Ref {
+	return b.fold(OpFoldMax, DefaultOut, v, foldKp, valKp)
+}
+
+// FoldScan prefix-sums v.valKp; each new run of v.foldKp restarts the sum.
+func (b *Builder) FoldScan(v Ref, foldKp, valKp string) Ref {
+	return b.fold(OpFoldScan, DefaultOut, v, foldKp, valKp)
+}
+
+// FoldCount is the paper's macro on top of FoldSum (§3.1.3): it counts the
+// slots of each run by summing a constant-one attribute.
+func (b *Builder) FoldCount(v Ref, foldKp string) Ref {
+	one := b.Constant(1)
+	withOne := b.Upsert(v, "__one", one, "")
+	return b.FoldSum(withOne, foldKp, "__one")
+}
+
+// GlobalSum is a convenience for a fully sequential global aggregation.
+func (b *Builder) GlobalSum(v Ref, valKp string) Ref {
+	return b.FoldSum(v, "", valKp)
+}

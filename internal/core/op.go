@@ -1,0 +1,163 @@
+// Package core implements the Voodoo vector algebra (paper §2): a minimal,
+// declarative, deterministic set of vector operators over structured
+// vectors, assembled into SSA-form programs whose dataflow forms a DAG.
+//
+// Programs say only how outputs depend on inputs — never how they are
+// computed. Backends (package interp, and package compile with its
+// executors) choose the execution strategy; the degree of parallelism of
+// fold operations is controlled declaratively through control vectors
+// (package vector's RunMeta).
+package core
+
+import "fmt"
+
+// Op identifies a Voodoo operator (paper Table 2).
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; it never appears in valid programs.
+	OpInvalid Op = iota
+
+	// Maintenance operations (manipulate persistent state).
+
+	// OpLoad loads the vector identified by Name from persistent storage.
+	OpLoad
+	// OpPersist makes Args[0] available from persistent storage under Name.
+	OpPersist
+
+	// Shape operations (create vectors from sizes, not values).
+
+	// OpConstant produces a one-slot vector holding IntVal (or FloatVal
+	// when IsFloat). One-slot vectors broadcast in data-parallel ops.
+	OpConstant
+	// OpRange produces ids From, From+Step, ... with the length of
+	// Args[0] (or the literal Size when there is no argument).
+	OpRange
+	// OpCross produces the cross product of the positions of Args[0] and
+	// Args[1], as attributes Out[0] and Out[1].
+	OpCross
+
+	// Data-parallel operations (aligned element-wise; one-slot broadcasts).
+
+	OpAdd
+	OpSubtract
+	OpMultiply
+	OpDivide
+	OpModulo
+	OpBitShift
+	OpLogicalAnd
+	OpLogicalOr
+	OpGreater
+	OpEquals
+	// OpZip creates a new vector with subtree Args[0].Kp[0] as Out[0] and
+	// Args[1].Kp[1] as Out[1].
+	OpZip
+	// OpProject creates a new vector with subtree Args[0].Kp[0] as Out[0].
+	OpProject
+	// OpUpsert copies Args[0] and replaces or inserts attribute Out[0]
+	// with Args[1].Kp[1].
+	OpUpsert
+	// OpGather creates a vector of the size of Args[1], resolving the
+	// positions Args[1].Kp[1] in Args[0]. Out-of-bounds positions produce
+	// empty slots.
+	OpGather
+	// OpScatter places each item of Args[0] at position Args[2].Kp[2] in
+	// a fresh vector of the size of Args[1]. Later writes win within a
+	// value-run of Args[1].Kp[1]; runs have no mutual order guarantee.
+	OpScatter
+	// OpMaterialize forces Args[0] into memory, chunked according to the
+	// runs of Args[1].Kp[1] (X100-style processing).
+	OpMaterialize
+	// OpBreak breaks Args[0] into segments according to the runs in
+	// Args[1].Kp[1]. It is a pure tuning hint with identity semantics.
+	OpBreak
+	// OpPartition generates (as Out[0]) the scatter position vector that
+	// partitions Args[0].Kp[0] according to the sorted pivots
+	// Args[1].Kp[1]. The output size is the size of Args[0].
+	OpPartition
+
+	// Fold operations (controlled folding, paper §2.2). Kp[0] names the
+	// fold/control attribute of Args[0]; an empty Kp[0] means a single
+	// global run. Kp[1] names the folded value attribute.
+
+	// OpFoldSelect emits (aligned to run starts, ε-padded) the positions
+	// of slots whose selection attribute is non-zero.
+	OpFoldSelect
+	OpFoldSum
+	OpFoldMin
+	OpFoldMax
+	// OpFoldScan prefix-sums the value attribute; a new run restarts the
+	// running sum. Unlike the other folds it fills every slot.
+	OpFoldScan
+)
+
+// opInfo carries static per-operator metadata used for validation and
+// printing.
+type opInfo struct {
+	name  string
+	arity int // number of vector arguments; -1 = 1 or 2 (OpRange)
+}
+
+var opTable = map[Op]opInfo{
+	OpLoad:        {"Load", 0},
+	OpPersist:     {"Persist", 1},
+	OpConstant:    {"Constant", 0},
+	OpRange:       {"Range", -1},
+	OpCross:       {"Cross", 2},
+	OpAdd:         {"Add", 2},
+	OpSubtract:    {"Subtract", 2},
+	OpMultiply:    {"Multiply", 2},
+	OpDivide:      {"Divide", 2},
+	OpModulo:      {"Modulo", 2},
+	OpBitShift:    {"BitShift", 2},
+	OpLogicalAnd:  {"LogicalAnd", 2},
+	OpLogicalOr:   {"LogicalOr", 2},
+	OpGreater:     {"Greater", 2},
+	OpEquals:      {"Equals", 2},
+	OpZip:         {"Zip", 2},
+	OpProject:     {"Project", 1},
+	OpUpsert:      {"Upsert", 2},
+	OpGather:      {"Gather", 2},
+	OpScatter:     {"Scatter", 3},
+	OpMaterialize: {"Materialize", 2},
+	OpBreak:       {"Break", 2},
+	OpPartition:   {"Partition", 2},
+	OpFoldSelect:  {"FoldSelect", 1},
+	OpFoldSum:     {"FoldSum", 1},
+	OpFoldMin:     {"FoldMin", 1},
+	OpFoldMax:     {"FoldMax", 1},
+	OpFoldScan:    {"FoldScan", 1},
+}
+
+// String returns the operator's name as used in the paper.
+func (o Op) String() string {
+	if info, ok := opTable[o]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsArith reports whether the operator is a binary arithmetic, logical or
+// comparison operation.
+func (o Op) IsArith() bool {
+	switch o {
+	case OpAdd, OpSubtract, OpMultiply, OpDivide, OpModulo, OpBitShift,
+		OpLogicalAnd, OpLogicalOr, OpGreater, OpEquals:
+		return true
+	}
+	return false
+}
+
+// IsFold reports whether the operator is a controlled fold.
+func (o Op) IsFold() bool {
+	switch o {
+	case OpFoldSelect, OpFoldSum, OpFoldMin, OpFoldMax, OpFoldScan:
+		return true
+	}
+	return false
+}
+
+// IsShape reports whether the operator creates vectors from sizes alone.
+func (o Op) IsShape() bool {
+	return o == OpConstant || o == OpRange || o == OpCross
+}

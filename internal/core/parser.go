@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a Voodoo program in the paper's SSA notation — the same
+// notation Program.String renders, so programs round-trip:
+//
+//	input := Load("input")
+//	ids := Range(from=0, input)
+//	partitionSize := Constant(1024)
+//	partitionIDs := Divide(ids, partitionSize)
+//	pSum := FoldSum(inputWPart.partition, .val)
+//
+// Lines are one statement each; '#' and '//' start comments. Operands are
+// earlier statement names, optionally with a keypath (name.kp). A bare
+// keypath (.kp) names a fold's value attribute; out=.kp names outputs;
+// from=, step= and size= are Range literals.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	labels := map[string]Ref{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		stmt, label, err := parseLine(line, labels)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", lineNo+1, err)
+		}
+		ref := p.Add(stmt)
+		p.Stmts[ref].Label = label
+		if _, dup := labels[label]; dup {
+			return nil, fmt.Errorf("core: line %d: duplicate name %q", lineNo+1, label)
+		}
+		labels[label] = ref
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// opByName maps the paper's operator names to ops (including the comparison
+// and logical spellings of Table 2).
+var opByName = map[string]Op{
+	"Load": OpLoad, "Persist": OpPersist, "Constant": OpConstant,
+	"Range": OpRange, "Cross": OpCross,
+	"Add": OpAdd, "Subtract": OpSubtract, "Multiply": OpMultiply,
+	"Divide": OpDivide, "Modulo": OpModulo, "BitShift": OpBitShift,
+	"LogicalAnd": OpLogicalAnd, "LogicalOr": OpLogicalOr,
+	"Greater": OpGreater, "Equals": OpEquals,
+	"Zip": OpZip, "Project": OpProject, "Upsert": OpUpsert,
+	"Gather": OpGather, "Scatter": OpScatter,
+	"Materialize": OpMaterialize, "Break": OpBreak, "Partition": OpPartition,
+	"FoldSelect": OpFoldSelect, "FoldSum": OpFoldSum, "FoldMin": OpFoldMin,
+	"FoldMax": OpFoldMax, "FoldScan": OpFoldScan,
+}
+
+func parseLine(line string, labels map[string]Ref) (Stmt, string, error) {
+	var s Stmt
+	name, rest, ok := strings.Cut(line, ":=")
+	if !ok {
+		return s, "", fmt.Errorf("expected 'name := Op(...)'")
+	}
+	label := strings.TrimSpace(name)
+	if label == "" || strings.ContainsAny(label, " \t.(") {
+		return s, "", fmt.Errorf("bad statement name %q", label)
+	}
+	rest = strings.TrimSpace(rest)
+	open := strings.Index(rest, "(")
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return s, "", fmt.Errorf("expected an operator application")
+	}
+	opName := strings.TrimSpace(rest[:open])
+	op, ok := opByName[opName]
+	if !ok {
+		return s, "", fmt.Errorf("unknown operator %q", opName)
+	}
+	s.Op = op
+
+	args, err := splitArgs(rest[open+1 : len(rest)-1])
+	if err != nil {
+		return s, "", err
+	}
+	for _, a := range args {
+		if err := applyArg(&s, a, labels); err != nil {
+			return s, "", err
+		}
+	}
+	// Default output names where the builder would supply them.
+	if len(s.Out) == 0 && op != OpLoad && op != OpPersist &&
+		op != OpGather && op != OpScatter && op != OpMaterialize && op != OpBreak {
+		s.Out = []string{DefaultOut}
+	}
+	if op == OpRange && s.Step == 0 {
+		s.Step = 1
+	}
+	return s, label, nil
+}
+
+// splitArgs splits a comma-separated argument list (no nesting in this
+// notation).
+func splitArgs(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out, nil
+}
+
+func applyArg(s *Stmt, a string, labels map[string]Ref) error {
+	switch {
+	case strings.HasPrefix(a, `"`):
+		// A quoted name: Load/Persist target.
+		v, err := strconv.Unquote(a)
+		if err != nil {
+			return fmt.Errorf("bad string %s", a)
+		}
+		s.Name = v
+	case strings.HasPrefix(a, "out=."):
+		s.Out = append(s.Out, a[len("out=."):])
+	case strings.HasPrefix(a, "from="):
+		v, err := strconv.ParseInt(a[len("from="):], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad from= value %q", a)
+		}
+		s.IntVal = v
+	case strings.HasPrefix(a, "step="):
+		v, err := strconv.ParseInt(a[len("step="):], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad step= value %q", a)
+		}
+		s.Step = v
+	case strings.HasPrefix(a, "size="):
+		v, err := strconv.Atoi(a[len("size="):])
+		if err != nil {
+			return fmt.Errorf("bad size= value %q", a)
+		}
+		s.Size = v
+	case strings.HasPrefix(a, "."):
+		// A bare keypath: the fold's value attribute.
+		if !s.Op.IsFold() {
+			return fmt.Errorf("bare keypath %q outside a fold", a)
+		}
+		s.FoldVal = a[1:]
+	case isNumber(a):
+		if s.Op != OpConstant {
+			return fmt.Errorf("numeric literal %q outside Constant", a)
+		}
+		if i, err := strconv.ParseInt(a, 10, 64); err == nil {
+			s.IntVal = i
+		} else {
+			f, err := strconv.ParseFloat(a, 64)
+			if err != nil {
+				return fmt.Errorf("bad number %q", a)
+			}
+			s.FloatVal, s.IsFloat = f, true
+		}
+	default:
+		// A statement reference, optionally with a keypath.
+		ref, kp := a, ""
+		if i := strings.Index(a, "."); i >= 0 {
+			ref, kp = a[:i], a[i+1:]
+		}
+		r, ok := labels[ref]
+		if !ok {
+			return fmt.Errorf("unknown statement %q", ref)
+		}
+		s.Args = append(s.Args, r)
+		s.Kp = append(s.Kp, kp)
+	}
+	return nil
+}
+
+func isNumber(a string) bool {
+	if a == "" {
+		return false
+	}
+	c := a[0]
+	return c == '-' || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure3Text is the paper's Figure 3 in the textual notation.
+const figure3Text = `
+# Figure 3: Multithreaded Hierarchical Aggregation in Voodoo
+input := Load("input")            // single column: val
+ids := Range(from=0, input)
+partitionSize := Constant(1024)
+divided := Divide(ids, partitionSize)
+partitionIDs := Project(divided, out=.partition)
+inputWPart := Zip(input.val, partitionIDs.partition, out=.val, out=.partition)
+pSum := FoldSum(inputWPart.partition, .val)
+totalSum := FoldSum(pSum)
+`
+
+func TestParseFigure3(t *testing.T) {
+	p, err := Parse(figure3Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stmts) != 8 {
+		t.Fatalf("stmts = %d, want 8", len(p.Stmts))
+	}
+	if p.Stmts[0].Op != OpLoad || p.Stmts[0].Name != "input" {
+		t.Fatalf("stmt 0 = %+v", p.Stmts[0])
+	}
+	fold := p.Stmts[6]
+	if fold.Op != OpFoldSum || fold.Kp[0] != "partition" || fold.FoldVal != "val" {
+		t.Fatalf("fold stmt = %+v", fold)
+	}
+	global := p.Stmts[7]
+	if global.Kp[0] != "" || global.FoldVal != "" {
+		t.Fatalf("global fold stmt = %+v", global)
+	}
+}
+
+// TestParseRoundTrip: Parse(p.String()) reproduces the program.
+func TestParseRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	in := b.Label(b.Load("t"), "in")
+	ids := b.Label(b.Range(in), "ids")
+	fold := b.Label(b.Project("fold", b.Label(b.Divide(ids, b.Label(b.Constant(16), "c16")), "div"), ""), "fold")
+	z := b.Label(b.Zip("v", in, "", "fold", fold, "fold"), "z")
+	sel := b.Label(b.FoldSelect(z, "fold", "v"), "sel")
+	g := b.Label(b.Gather(in, sel, ""), "g")
+	b.Label(b.FoldSum(g, "", ""), "total")
+	orig := b.Program()
+
+	back, err := Parse(orig.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\ntext:\n%s", err, orig.String())
+	}
+	if len(back.Stmts) != len(orig.Stmts) {
+		t.Fatalf("stmt count %d vs %d", len(back.Stmts), len(orig.Stmts))
+	}
+	for i := range orig.Stmts {
+		o, n := orig.Stmts[i], back.Stmts[i]
+		if o.Op != n.Op || o.Name != n.Name || o.FoldVal != n.FoldVal ||
+			o.IntVal != n.IntVal || o.Step != n.Step || len(o.Args) != len(n.Args) {
+			t.Fatalf("stmt %d differs:\n%+v\n%+v", i, o, n)
+		}
+		for j := range o.Args {
+			if o.Args[j] != n.Args[j] || o.Kp[j] != n.Kp[j] {
+				t.Fatalf("stmt %d arg %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestParseScatterAndPartition(t *testing.T) {
+	src := `
+in := Load("t")
+ids := Range(from=0, in)
+lanes := Constant(4)
+mod := Modulo(ids, lanes)
+part := Project(mod, out=.lane)
+pivots := Range(from=0, size=4)
+pos := Partition(part.lane, pivots, out=.pos)
+withPos := Upsert(in, pos.pos, out=.pos)
+sc := Scatter(in, in, withPos.pos)
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := p.Stmts[len(p.Stmts)-1]
+	if sc.Op != OpScatter || len(sc.Args) != 3 || sc.Kp[2] != "pos" {
+		t.Fatalf("scatter stmt = %+v", sc)
+	}
+	rng := p.Stmts[5]
+	if rng.Size != 4 || rng.Step != 1 {
+		t.Fatalf("literal range = %+v", rng)
+	}
+}
+
+func TestParseConstantFloat(t *testing.T) {
+	p, err := Parse(`c := Constant(2.5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stmts[0].IsFloat || p.Stmts[0].FloatVal != 2.5 {
+		t.Fatalf("float constant = %+v", p.Stmts[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"x Load()":                           "expected 'name",
+		"x := Frobnicate(y)":                 "unknown operator",
+		"x := Load(42)":                      "numeric literal",
+		"x := Add(nope, nope)":               "unknown statement",
+		"a := Load(\"t\")\na := Load(\"t\")": "duplicate name",
+		"x := Add(.v)":                       "bare keypath",
+		"x := Load":                          "operator application",
+		"my name := Load(\"t\")":             "bad statement name",
+		"x := Range(from=z, size=2)":         "bad from=",
+	}
+	for src, wantSub := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("expected error for %q", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%q: error %q does not contain %q", src, err, wantSub)
+		}
+	}
+}

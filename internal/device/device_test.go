@@ -1,0 +1,117 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"voodoo/internal/exec"
+)
+
+func TestLatencyTiers(t *testing.T) {
+	m := CPU(1)
+	if m.latency(16*kb) >= m.latency(1*mb) {
+		t.Error("L1-resident access should be cheaper than L3-resident")
+	}
+	if m.latency(4*mb) >= m.latency(128*mb) {
+		t.Error("L3-resident access should be cheaper than DRAM")
+	}
+}
+
+func TestBranchPenaltyBellCurve(t *testing.T) {
+	m := CPU(1)
+	frag := func(pass int64) *exec.FragStats {
+		return &exec.FragStats{Extent: 1, Items: 1000, Guards: 1000, GuardsPass: pass}
+	}
+	t10 := m.FragTime(frag(100))
+	t50 := m.FragTime(frag(500))
+	t90 := m.FragTime(frag(900))
+	if !(t50 > t10 && t50 > t90) {
+		t.Errorf("branch cost should peak at 50%%: t10=%g t50=%g t90=%g", t10, t50, t90)
+	}
+}
+
+func TestGPUNoBranchPenaltyButDivergence(t *testing.T) {
+	g := GPU()
+	// With divergence, a guarded fragment where only 10% pass should cost
+	// about as much as one where 90% pass (lanes burn either way): the
+	// static body cost dominates the executed-op count.
+	lo := &exec.FragStats{Extent: 4096, Items: 100000, Guards: 100000, GuardsPass: 10000,
+		IntOps: 50000, StaticIntOps: 5}
+	hi := &exec.FragStats{Extent: 4096, Items: 100000, Guards: 100000, GuardsPass: 90000,
+		IntOps: 450000, StaticIntOps: 5}
+	tl, th := g.FragTime(lo), g.FragTime(hi)
+	ratio := tl / th
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("divergent guard costs should be roughly flat: lo=%g hi=%g", tl, th)
+	}
+}
+
+func TestGPUIntegerWeakness(t *testing.T) {
+	g := GPU()
+	ints := &exec.FragStats{Extent: 1 << 20, IntOps: 1 << 30}
+	floats := &exec.FragStats{Extent: 1 << 20, FloatOps: 1 << 30}
+	if g.FragTime(ints) <= g.FragTime(floats) {
+		t.Error("GPU integer ops should be slower than float ops")
+	}
+	c := CPU(8)
+	ci := c.FragTime(ints)
+	cf := c.FragTime(floats)
+	if math.Abs(ci-cf)/cf > 0.01 {
+		t.Error("CPU int and float throughput should match in this model")
+	}
+}
+
+func TestSequentialFragmentHurtsGPUMore(t *testing.T) {
+	work := &exec.FragStats{Extent: 1, Items: 1 << 20, IntOps: 1 << 22}
+	g, c := GPU(), CPU(1)
+	if g.FragTime(work) <= c.FragTime(work) {
+		t.Error("a sequential fragment should run slower on the GPU than on a CPU core")
+	}
+	parallel := &exec.FragStats{Extent: 1 << 20, Items: 1 << 20, FloatOps: 1 << 22}
+	if g.FragTime(parallel) >= c.FragTime(parallel) {
+		t.Error("a massively parallel float fragment should be faster on the GPU")
+	}
+}
+
+func TestBandwidthAdvantage(t *testing.T) {
+	// Pure streaming traffic: the GPU's 300GB/s should beat the CPU.
+	stream := &exec.FragStats{Extent: 1 << 20, SeqBytes: 10 << 30}
+	if GPU().FragTime(stream) >= CPU(8).FragTime(stream) {
+		t.Error("GPU streaming should outpace CPU streaming")
+	}
+}
+
+func TestRandomAccessHiddenByParallelism(t *testing.T) {
+	g := GPU()
+	rand := func(extent int) *exec.FragStats {
+		return &exec.FragStats{Extent: extent,
+			RandByBuf: map[int]exec.RandCount{0: {Bytes: 512 * mb, Count: 1 << 20}}}
+	}
+	if g.FragTime(rand(1<<20)) >= g.FragTime(rand(1)) {
+		t.Error("parallel random accesses should be cheaper than serial ones on the GPU")
+	}
+}
+
+func TestOversizedLocalsSpill(t *testing.T) {
+	c := CPU(1)
+	small := &exec.FragStats{Extent: 1, LocalOps: 1 << 20, LocalBytes: 32 * kb}
+	big := &exec.FragStats{Extent: 1, LocalOps: 1 << 20, LocalBytes: 512 * mb}
+	if c.FragTime(big) <= c.FragTime(small) {
+		t.Error("oversized scratch arrays should cost memory traffic")
+	}
+}
+
+func TestTimeSumsFragments(t *testing.T) {
+	m := CPU(4)
+	st := &exec.Stats{Frags: []exec.FragStats{
+		{Extent: 4, IntOps: 1000},
+		{Extent: 1, IntOps: 1000},
+	}}
+	want := m.FragTime(&st.Frags[0]) + m.FragTime(&st.Frags[1])
+	if got := m.Time(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Time = %g, want %g", got, want)
+	}
+	if m.Explain(st) == "" {
+		t.Error("Explain should render a breakdown")
+	}
+}

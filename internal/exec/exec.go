@@ -1,0 +1,683 @@
+// Package exec executes kernel IR natively: each fragment's Extent work
+// items are distributed over goroutine workers, with an implicit global
+// barrier between fragments (the paper's kernel boundaries).
+//
+// The executor doubles as the measurement probe of the reproduction: when
+// given a *Stats, it counts instructions by class (integer ALU, float ALU,
+// sequential and random memory traffic, data-dependent branch outcomes),
+// which the device cost models (package device) convert into simulated
+// times for hardware this host does not have.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"voodoo/internal/kernel"
+	"voodoo/internal/vector"
+)
+
+// Buffer is the runtime storage behind one kernel buffer.
+type Buffer struct {
+	Kind  vector.Kind
+	I     []int64
+	F     []float64
+	Valid []bool // nil = every slot valid
+}
+
+// Len returns the buffer's slot count.
+func (b *Buffer) Len() int {
+	if b.Kind == vector.Int {
+		return len(b.I)
+	}
+	return len(b.F)
+}
+
+// FromColumn converts a vector column into an executable buffer,
+// materializing generated columns.
+func FromColumn(c *vector.Column) *Buffer {
+	b := &Buffer{Kind: c.Kind()}
+	if c.Kind() == vector.Int {
+		b.I = c.Ints()
+	} else {
+		b.F = c.Floats()
+	}
+	if !c.AllValid() {
+		b.Valid = make([]bool, c.Len())
+		for i := range b.Valid {
+			b.Valid[i] = c.Valid(i)
+		}
+	}
+	return b
+}
+
+// Column converts the buffer back into a vector column.
+func (b *Buffer) Column() *vector.Column {
+	var c *vector.Column
+	if b.Kind == vector.Int {
+		c = vector.NewInt(b.I)
+	} else {
+		c = vector.NewFloat(b.F)
+	}
+	if b.Valid != nil {
+		for i, v := range b.Valid {
+			if !v {
+				c.SetEmpty(i)
+			}
+		}
+	}
+	return c
+}
+
+// Env binds runtime buffers to a kernel's buffer declarations.
+type Env struct {
+	Bufs []*Buffer
+}
+
+// NewEnv allocates an environment for k with all non-input buffers
+// allocated (input buffers must be bound with Bind before Run).
+func NewEnv(k *kernel.Kernel) *Env {
+	e := &Env{Bufs: make([]*Buffer, len(k.Bufs))}
+	for i, d := range k.Bufs {
+		if d.Input {
+			continue
+		}
+		b := &Buffer{Kind: d.Kind}
+		if d.Kind == vector.Int {
+			b.I = make([]int64, d.Size)
+		} else {
+			b.F = make([]float64, d.Size)
+		}
+		if d.Valid {
+			b.Valid = make([]bool, d.Size)
+		}
+		e.Bufs[i] = b
+	}
+	return e
+}
+
+// Bind attaches buf to the declaration named name and returns an error if
+// no such input exists or the size disagrees.
+func (e *Env) Bind(k *kernel.Kernel, name string, buf *Buffer) error {
+	for i, d := range k.Bufs {
+		if d.Name != name {
+			continue
+		}
+		if buf.Len() != d.Size {
+			return fmt.Errorf("exec: buffer %q has %d slots, declaration wants %d", name, buf.Len(), d.Size)
+		}
+		e.Bufs[i] = buf
+		return nil
+	}
+	return fmt.Errorf("exec: no buffer declaration %q", name)
+}
+
+// Stats accumulates per-class event counts across all fragments of a run.
+// All byte figures assume the algebra's 8-byte scalars.
+type Stats struct {
+	Frags []FragStats
+}
+
+// FragStats counts the events of one fragment execution.
+type FragStats struct {
+	Name       string
+	Extent     int
+	Intent     int
+	Sequential bool
+
+	Items        int64 // loop iterations executed
+	IntOps       int64
+	FloatOps     int64
+	SeqBytes     int64 // coalesced loads+stores
+	RandAccesses int64 // gather/scatter accesses landing far from the last
+	// NearAccesses counts random accesses within a cache line or two of
+	// the previous access to the same buffer: repeated hot slots
+	// (predicated lookups to position zero) and row-wise colocated
+	// fields both show up here, priced at L1 latency.
+	NearAccesses int64
+	// RandByBuf histograms far random accesses per touched buffer (keyed
+	// by buffer identity); cost models price them against the fragment's
+	// total random working set.
+	RandByBuf  map[int]RandCount
+	Guards     int64 // data-dependent branch executions
+	GuardsPass int64 // branches that fell through (predicate true)
+	LocalOps   int64 // per-work-item scratch array accesses
+	LocalBytes int64 // scratch array size per work item
+	// StaticIntOps/StaticFloatOps are the per-iteration ALU counts of the
+	// full loop body, for SIMT divergence pricing.
+	StaticIntOps   int64
+	StaticFloatOps int64
+}
+
+// RandCount is the per-buffer random access tally.
+type RandCount struct {
+	Bytes int64 // buffer size
+	Count int64
+}
+
+func (fs *FragStats) merge(o *FragStats) {
+	fs.Items += o.Items
+	fs.IntOps += o.IntOps
+	fs.FloatOps += o.FloatOps
+	fs.SeqBytes += o.SeqBytes
+	fs.RandAccesses += o.RandAccesses
+	fs.NearAccesses += o.NearAccesses
+	fs.Guards += o.Guards
+	fs.GuardsPass += o.GuardsPass
+	fs.LocalOps += o.LocalOps
+	fs.StaticIntOps = max(fs.StaticIntOps, o.StaticIntOps)
+	fs.StaticFloatOps = max(fs.StaticFloatOps, o.StaticFloatOps)
+	for k, v := range o.RandByBuf {
+		if fs.RandByBuf == nil {
+			fs.RandByBuf = map[int]RandCount{}
+		}
+		e := fs.RandByBuf[k]
+		e.Bytes = v.Bytes
+		e.Count += v.Count
+		fs.RandByBuf[k] = e
+	}
+}
+
+// Run executes every fragment of k against env using up to workers
+// goroutines (0 = GOMAXPROCS). When st is non-nil, event counts are
+// accumulated into it.
+func Run(k *kernel.Kernel, env *Env, workers int, st *Stats) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, f := range k.Frags {
+		var fs *FragStats
+		if st != nil {
+			si, sf := f.StaticBodyOps()
+			st.Frags = append(st.Frags, FragStats{
+				Name: f.Name, Extent: f.Extent, Intent: f.Intent,
+				Sequential: f.Sequential(), LocalBytes: int64(f.Locals) * 8,
+				StaticIntOps: si, StaticFloatOps: sf,
+			})
+			fs = &st.Frags[len(st.Frags)-1]
+		}
+		if err := RunFragment(f, env, workers, fs); err != nil {
+			return fmt.Errorf("exec: fragment %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// RunFragment executes a single fragment against env, accumulating event
+// counts into fs when non-nil. Used by Run and by the compiled plans, which
+// interleave fragments with bulk steps.
+func RunFragment(f *kernel.Fragment, env *Env, workers int, fs *FragStats) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nregs := maxReg(f) + 1
+	if f.Sequential() || workers == 1 {
+		w := newWorker(f, env, nregs, fs != nil)
+		if err := w.run(0, max(f.Extent, 1)); err != nil {
+			return err
+		}
+		if fs != nil {
+			fs.merge(&w.stats)
+		}
+		return nil
+	}
+	chunk := (f.Extent + workers - 1) / workers
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for lo := 0; lo < f.Extent; lo += chunk {
+		hi := min(lo+chunk, f.Extent)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w := newWorker(f, env, nregs, fs != nil)
+			err := w.run(lo, hi)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if fs != nil {
+				fs.merge(&w.stats)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func maxReg(f *kernel.Fragment) kernel.Reg {
+	m := kernel.FirstFree
+	scan := func(instrs []kernel.Instr) {
+		for _, in := range instrs {
+			for _, r := range [4]kernel.Reg{in.Dst, in.A, in.B, in.C} {
+				if r > m {
+					m = r
+				}
+			}
+		}
+	}
+	scan(f.Pre)
+	for _, l := range f.Loops {
+		scan(l.Body)
+	}
+	scan(f.Post)
+	scan(f.PostLoopBody)
+	return m
+}
+
+// worker executes a contiguous range of work items of one fragment.
+type worker struct {
+	f     *kernel.Fragment
+	env   *Env
+	ri    []int64
+	rf    []float64
+	locI  []int64
+	locF  []float64
+	count bool
+	stats FragStats
+	// lines remembers the last few cache lines touched per buffer (a tiny
+	// LRU), so hot-line accesses — repeated slots, sequential gathers,
+	// colocated row fields — are told from far random ones.
+	lines map[int]*lineRing
+}
+
+// lineRing is an 8-entry ring of recently touched cache lines; it also
+// remembers the highest line so ascending streams are recognized.
+type lineRing struct {
+	lines    [8]int64
+	pos      int
+	n        int
+	lastLine int64
+}
+
+// touch classifies an access: 0 = hot (line recently touched), 1 = stream
+// (the next line of an ascending walk: a prefetched miss, bandwidth not
+// latency), 2 = far random.
+func (r *lineRing) touch(line int64) int {
+	kind := 2
+	if r.n > 0 && line == r.lastLine+1 {
+		kind = 1
+	}
+	for i := 0; i < r.n; i++ {
+		if r.lines[i] == line {
+			kind = 0
+			break
+		}
+	}
+	if kind != 0 {
+		r.lines[r.pos] = line
+		r.pos = (r.pos + 1) % len(r.lines)
+		if r.n < len(r.lines) {
+			r.n++
+		}
+	}
+	r.lastLine = line
+	return kind
+}
+
+func newWorker(f *kernel.Fragment, env *Env, nregs kernel.Reg, count bool) *worker {
+	w := &worker{f: f, env: env,
+		ri: make([]int64, nregs), rf: make([]float64, nregs), count: count}
+	if f.Locals > 0 {
+		if f.LocalsFloat {
+			w.locF = make([]float64, f.Locals)
+		} else {
+			w.locI = make([]int64, f.Locals)
+		}
+	}
+	return w
+}
+
+func (w *worker) resetLocals() {
+	for i := range w.locI {
+		w.locI[i] = int64(w.f.LocalsInit)
+	}
+	for i := range w.locF {
+		w.locF[i] = w.f.LocalsInit
+	}
+}
+
+func (w *worker) run(lo, hi int) error {
+	f := w.f
+	for gid := lo; gid < hi; gid++ {
+		w.ri[kernel.RegGID] = int64(gid)
+		if f.Locals > 0 {
+			w.resetLocals()
+		}
+		if err := w.exec(f.Pre); err != nil {
+			return err
+		}
+		for _, loop := range f.Loops {
+			bound := loop.Bound
+			if bound <= 0 {
+				bound = f.Intent
+			}
+			if loop.BoundReg > 0 {
+				if dyn := int(w.ri[loop.BoundReg]); dyn < bound {
+					bound = dyn
+				}
+			}
+			for iv := 0; iv < bound; iv++ {
+				w.ri[kernel.RegIV] = int64(iv)
+				var idx int
+				if f.Strided {
+					idx = iv*f.Extent + gid
+				} else {
+					idx = gid*f.Intent + iv
+				}
+				if f.N > 0 && idx >= f.N {
+					break
+				}
+				w.ri[kernel.RegIdx] = int64(idx)
+				if err := w.exec(loop.Body); err != nil {
+					return err
+				}
+				if w.count {
+					w.stats.Items++
+				}
+			}
+		}
+		if err := w.exec(f.Post); err != nil {
+			return err
+		}
+		if len(f.PostLoopBody) > 0 {
+			for j := 0; j < f.Locals; j++ {
+				w.ri[kernel.RegJ] = int64(j)
+				if err := w.exec(f.PostLoopBody); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exec interprets a straight-line instruction sequence. IGuard with a zero
+// predicate aborts the sequence (the rest of the loop body is skipped).
+func (w *worker) exec(instrs []kernel.Instr) error {
+	ri, rf := w.ri, w.rf
+	for _, in := range instrs {
+		switch in.Op {
+		case kernel.IConstI:
+			ri[in.Dst] = in.Imm
+		case kernel.IConstF:
+			rf[in.Dst] = in.FImm
+		case kernel.IMov:
+			if in.Float {
+				rf[in.Dst] = rf[in.A]
+			} else {
+				ri[in.Dst] = ri[in.A]
+			}
+		case kernel.IBin:
+			if in.Float {
+				v, err := fbin(in.BOp, rf[in.A], rf[in.B])
+				if err != nil {
+					return err
+				}
+				rf[in.Dst] = v
+				if w.count {
+					w.stats.FloatOps++
+				}
+			} else {
+				v, err := ibin(in.BOp, ri[in.A], ri[in.B])
+				if err != nil {
+					return err
+				}
+				ri[in.Dst] = v
+				if w.count {
+					w.stats.IntOps++
+				}
+			}
+		case kernel.ISel:
+			if in.Float {
+				if ri[in.A] != 0 {
+					rf[in.Dst] = rf[in.B]
+				} else {
+					rf[in.Dst] = rf[in.C]
+				}
+			} else {
+				if ri[in.A] != 0 {
+					ri[in.Dst] = ri[in.B]
+				} else {
+					ri[in.Dst] = ri[in.C]
+				}
+			}
+			if w.count {
+				w.stats.IntOps++
+			}
+		case kernel.ILoad:
+			buf := w.env.Bufs[in.Buf]
+			i := ri[in.A]
+			if i < 0 || i >= int64(buf.Len()) {
+				return fmt.Errorf("load out of bounds: buf %d idx %d len %d", in.Buf, i, buf.Len())
+			}
+			if in.Float {
+				rf[in.Dst] = buf.F[i]
+			} else {
+				ri[in.Dst] = buf.I[i]
+			}
+			w.countAccess(in, buf)
+		case kernel.ILoadValid:
+			buf := w.env.Bufs[in.Buf]
+			i := ri[in.A]
+			if i < 0 || i >= int64(buf.Len()) {
+				ri[in.Dst] = 0
+			} else if buf.Valid == nil || buf.Valid[i] {
+				ri[in.Dst] = 1
+			} else {
+				ri[in.Dst] = 0
+			}
+			w.countAccess(in, buf)
+		case kernel.IStore:
+			buf := w.env.Bufs[in.Buf]
+			i := ri[in.A]
+			if i < 0 || i >= int64(buf.Len()) {
+				return fmt.Errorf("store out of bounds: buf %d idx %d len %d", in.Buf, i, buf.Len())
+			}
+			val := ri[in.B]
+			fval := rf[in.B]
+			valid := true
+			if buf.Valid != nil && in.C > 0 {
+				// C > 0 selects conditional validity: the slot holds a
+				// value only if the register is non-zero (predicated
+				// stores mark the cursor slot tentatively). Empty slots
+				// hold the reserved zero representation, exactly as the
+				// data model's ε reads back.
+				valid = ri[in.C] != 0
+				if !valid {
+					val, fval = 0, 0
+				}
+			}
+			if in.Float {
+				buf.F[i] = fval
+			} else {
+				buf.I[i] = val
+			}
+			if buf.Valid != nil {
+				buf.Valid[i] = valid
+			}
+			w.countAccess(in, buf)
+		case kernel.IGuard:
+			if w.count {
+				w.stats.Guards++
+				if ri[in.A] != 0 {
+					w.stats.GuardsPass++
+				}
+			}
+			if ri[in.A] == 0 {
+				return nil
+			}
+		case kernel.ICastIF:
+			rf[in.Dst] = float64(ri[in.A])
+		case kernel.ICastFI:
+			ri[in.Dst] = int64(rf[in.A])
+		case kernel.ILoadLoc:
+			i := ri[in.A]
+			if i < 0 || i >= int64(w.f.Locals) {
+				return fmt.Errorf("local load out of bounds: idx %d size %d", i, w.f.Locals)
+			}
+			if in.Float {
+				rf[in.Dst] = w.locF[i]
+			} else {
+				ri[in.Dst] = w.locI[i]
+			}
+			if w.count {
+				w.stats.LocalOps++
+			}
+		case kernel.IStoreLoc:
+			i := ri[in.A]
+			if i < 0 || i >= int64(w.f.Locals) {
+				return fmt.Errorf("local store out of bounds: idx %d size %d", i, w.f.Locals)
+			}
+			if in.Float {
+				w.locF[i] = rf[in.B]
+			} else {
+				w.locI[i] = ri[in.B]
+			}
+			if w.count {
+				w.stats.LocalOps++
+			}
+		default:
+			return fmt.Errorf("unknown instruction %v", in.Op)
+		}
+	}
+	return nil
+}
+
+func (w *worker) countAccess(in kernel.Instr, buf *Buffer) {
+	if !w.count {
+		return
+	}
+	// Validity masks are byte-sized; a validity probe against a buffer
+	// with no mask is just a bounds check — pure arithmetic the paper's
+	// compiler emits inline (or removes with static knowledge).
+	width := int64(8)
+	if in.Op == kernel.ILoadValid {
+		if buf.Valid == nil {
+			w.stats.IntOps += 2
+			return
+		}
+		width = 1
+	}
+	if in.Seq {
+		w.stats.SeqBytes += width
+		return
+	}
+	idx := w.ri[in.A]
+	if w.lines == nil {
+		w.lines = map[int]*lineRing{}
+	}
+	// Mask bytes live apart from the data; track their lines separately.
+	ringKey := in.Buf
+	if in.Op == kernel.ILoadValid {
+		ringKey |= 1 << 24
+	}
+	r := w.lines[ringKey]
+	if r == nil {
+		r = &lineRing{}
+		w.lines[ringKey] = r
+	}
+	switch r.touch(idx >> 3) {
+	case 0:
+		// A recently touched line: hot slots (predicated position-zero
+		// lookups) and row-wise colocated fields stay cache resident.
+		w.stats.NearAccesses++
+		return
+	case 1:
+		// An ascending stream: the hardware prefetcher turns the miss
+		// into bandwidth (a cache line per stride for data, a byte per
+		// element for masks).
+		w.stats.SeqBytes += width * 8
+		w.stats.NearAccesses++
+		return
+	}
+	w.stats.RandAccesses++
+	if w.stats.RandByBuf == nil {
+		w.stats.RandByBuf = map[int]RandCount{}
+	}
+	e := w.stats.RandByBuf[ringKey]
+	e.Bytes = int64(buf.Len()) * width
+	e.Count++
+	w.stats.RandByBuf[ringKey] = e
+}
+
+func ibin(op kernel.BinOp, a, b int64) (int64, error) {
+	switch op {
+	case kernel.BAdd:
+		return a + b, nil
+	case kernel.BSub:
+		return a - b, nil
+	case kernel.BMul:
+		return a * b, nil
+	case kernel.BDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("integer division by zero")
+		}
+		return a / b, nil
+	case kernel.BMod:
+		if b == 0 {
+			return 0, fmt.Errorf("integer modulo by zero")
+		}
+		m := a % b
+		if m < 0 {
+			m += b
+		}
+		return m, nil
+	case kernel.BShl:
+		if b >= 0 {
+			return a << uint(b), nil
+		}
+		return a >> uint(-b), nil
+	case kernel.BAnd:
+		return b2i(a != 0 && b != 0), nil
+	case kernel.BOr:
+		return b2i(a != 0 || b != 0), nil
+	case kernel.BGt:
+		return b2i(a > b), nil
+	case kernel.BGe:
+		return b2i(a >= b), nil
+	case kernel.BEq:
+		return b2i(a == b), nil
+	case kernel.BMin:
+		return min(a, b), nil
+	case kernel.BMax:
+		return max(a, b), nil
+	}
+	return 0, fmt.Errorf("unknown int binop %v", op)
+}
+
+func fbin(op kernel.BinOp, a, b float64) (float64, error) {
+	switch op {
+	case kernel.BAdd:
+		return a + b, nil
+	case kernel.BSub:
+		return a - b, nil
+	case kernel.BMul:
+		return a * b, nil
+	case kernel.BDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("float division by zero")
+		}
+		return a / b, nil
+	case kernel.BGt:
+		return float64(b2i(a > b)), nil
+	case kernel.BGe:
+		return float64(b2i(a >= b)), nil
+	case kernel.BEq:
+		return float64(b2i(a == b)), nil
+	case kernel.BMin:
+		return min(a, b), nil
+	case kernel.BMax:
+		return max(a, b), nil
+	}
+	return 0, fmt.Errorf("unsupported float binop %v", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,222 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/exec"
+	"voodoo/internal/interp"
+	"voodoo/internal/storage"
+	"voodoo/internal/vector"
+)
+
+// Backend selects how lowered plans execute.
+type Backend uint8
+
+const (
+	// Compiled uses the Voodoo→kernel compiler (the paper's OpenCL
+	// backend analog).
+	Compiled Backend = iota
+	// Interpreted uses the reference interpreter (§3.2).
+	Interpreted
+	// BulkCompiled disables fusion: every operator materializes. This is
+	// the execution model of the Ocelot baseline.
+	BulkCompiled
+)
+
+// Runner executes relational queries; the Voodoo engine and the baseline
+// engines (HyPer-style, Ocelot-style) all satisfy it, so the TPC-H driver
+// treats them interchangeably.
+type Runner interface {
+	Run(q Query) (*Result, *exec.Stats, error)
+	Catalog() *storage.Catalog
+}
+
+// Engine executes relational queries against a catalog through a Voodoo
+// backend.
+type Engine struct {
+	Cat     *storage.Catalog
+	Backend Backend
+	// Opt tunes the compiling backend (predication etc.).
+	Opt compile.Options
+	// Grain is the number of parallel runs selections expose (0 = 1024).
+	Grain int
+	// CollectStats enables event counting for the device cost models.
+	CollectStats bool
+}
+
+// Catalog implements Runner.
+func (e *Engine) Catalog() *storage.Catalog { return e.Cat }
+
+// Run lowers, executes and assembles one query. Stats is nil unless
+// CollectStats is set and the backend is a compiling one.
+func (e *Engine) Run(q Query) (res *Result, stats *exec.Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if le, ok := r.(lowerErr); ok {
+				res, stats, err = nil, nil, le.err
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	grain := e.Grain
+	if grain <= 0 {
+		grain = defaultGrain
+	}
+	l := &lowerer{b: core.NewBuilder(), cat: e.Cat, grain: grain}
+	l.lower(q.Root)
+	prog := l.b.Program()
+	if len(l.outs) == 0 {
+		return nil, nil, fmt.Errorf("rel: query has no aggregate outputs (the root must be a GroupAgg)")
+	}
+
+	values := map[core.Ref]*vector.Vector{}
+	switch e.Backend {
+	case Interpreted:
+		ires, ierr := interp.Run(prog, e.Cat)
+		if ierr != nil {
+			return nil, nil, ierr
+		}
+		for _, o := range l.outs {
+			values[o.ref] = ires.Value(o.ref)
+		}
+	default:
+		opt := e.Opt
+		opt.ScatterParallel = true // join builds scatter unique keys
+		if e.Backend == BulkCompiled {
+			opt.ForceBulk = true
+		}
+		plan, cerr := compile.Compile(prog, e.Cat, opt)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		plan.CollectStats = e.CollectStats
+		pres, rerr := plan.Run()
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		for _, o := range l.outs {
+			v, ok := pres.Values[o.ref]
+			if !ok {
+				return nil, nil, fmt.Errorf("rel: output v%d not produced", o.ref)
+			}
+			values[o.ref] = v
+		}
+		if e.CollectStats {
+			stats = &pres.Stats
+		}
+	}
+
+	res = assemble(l.outs, values)
+	if q.Having != nil {
+		kept := res.Rows[:0]
+		for _, r := range res.Rows {
+			if q.Having(r) {
+				kept = append(kept, r)
+			}
+		}
+		res.Rows = kept
+	}
+	if q.OrderBy != nil {
+		sort.SliceStable(res.Rows, func(i, j int) bool { return q.OrderBy(res.Rows[i], res.Rows[j]) })
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return res, stats, nil
+}
+
+// assemble turns the padded fold outputs into a result table: valid slots
+// of the outputs are aligned (all folds share the grouping), keys first.
+func assemble(outs []aggOut, values map[core.Ref]*vector.Vector) *Result {
+	res := &Result{decoders: map[string]decoder{}}
+	var keyOuts, aggOuts []aggOut
+	for _, o := range outs {
+		if o.isKey {
+			keyOuts = append(keyOuts, o)
+		} else {
+			aggOuts = append(aggOuts, o)
+		}
+	}
+	for _, o := range keyOuts {
+		res.Cols = append(res.Cols, o.name)
+		if o.table != nil {
+			if d, ok := o.table.Def(o.col); ok && d.Dict != nil {
+				tbl, col := o.table, o.col
+				res.decoders[o.name] = func(v float64) string { return tbl.Decode(col, int64(v)) }
+			}
+		}
+	}
+	for _, o := range aggOuts {
+		if !o.hidden {
+			res.Cols = append(res.Cols, o.name)
+		}
+	}
+
+	// Row positions come from the first output's validity. A global
+	// aggregate always produces exactly one row — over an empty input its
+	// sums read as zero (slot 0 is ε but still the row's position).
+	first := values[outs[0].ref].SingleCol()
+	if len(keyOuts) > 0 {
+		first = values[keyOuts[0].ref].SingleCol()
+	}
+	for i := 0; i < first.Len(); i++ {
+		if !first.Valid(i) && !(len(keyOuts) == 0 && i == 0) {
+			continue
+		}
+		row := Row{}
+		for _, o := range keyOuts {
+			// The key fold aggregates the raw key values, so no shift
+			// correction applies.
+			c := values[o.ref].SingleCol()
+			row[o.name] = c.Float(i)
+		}
+		for _, o := range aggOuts {
+			c := values[o.ref].SingleCol()
+			if c.Valid(i) {
+				row[o.name] = c.Float(i)
+			} else {
+				row[o.name] = 0
+			}
+		}
+		for _, o := range aggOuts {
+			if o.divideBy != "" && row[o.divideBy] != 0 {
+				row[o.name] /= row[o.divideBy]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+type decoder func(float64) string
+
+// Decode maps a numeric key value of column col back to its string, when
+// the column is dictionary-encoded.
+func (r *Result) Decode(col string, v float64) string {
+	if d, ok := r.decoders[col]; ok {
+		return d(v)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Lower exposes the Voodoo program a query lowers to, for inspection tools
+// (kernel listings, OpenCL source) — execution goes through Engine.Run.
+func Lower(q Query, cat *storage.Catalog) (prog *core.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if le, ok := r.(lowerErr); ok {
+				prog, err = nil, le.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	l := &lowerer{b: core.NewBuilder(), cat: cat, grain: defaultGrain}
+	l.lower(q.Root)
+	return l.b.Program(), nil
+}

@@ -1,0 +1,43 @@
+package sql_test
+
+import (
+	"fmt"
+
+	"voodoo/internal/rel"
+	"voodoo/internal/sql"
+	"voodoo/internal/storage"
+)
+
+// Example parses a SQL query, plans it against a catalog, and executes it
+// on the Voodoo compiling backend.
+func Example() {
+	sales := storage.NewTable("sales")
+	sales.AddInt("region", []int64{0, 1, 0, 1, 0})
+	sales.AddFloat("amount", []float64{10, 20, 30, 40, 50})
+	sales.AddString("channel", []string{"web", "store", "web", "web", "store"})
+	cat := storage.NewCatalog().Add(sales)
+
+	stmt, err := sql.Parse(`
+		SELECT region, SUM(amount) AS total, COUNT(*) AS n
+		FROM sales
+		WHERE channel = 'web'
+		GROUP BY region
+		ORDER BY region`)
+	if err != nil {
+		panic(err)
+	}
+	q, err := sql.Plan(stmt, cat)
+	if err != nil {
+		panic(err)
+	}
+	res, _, err := (&rel.Engine{Cat: cat, Backend: rel.Compiled}).Run(q)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("region=%g total=%g n=%g\n", row["region"], row["total"], row["n"])
+	}
+	// Output:
+	// region=0 total=40 n=2
+	// region=1 total=40 n=1
+}

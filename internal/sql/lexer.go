@@ -1,0 +1,117 @@
+// Package sql is the textual frontend: a lexer, parser and planner for the
+// SQL subset the examples and the voodoo-run tool accept. It plays the role
+// MonetDB's SQL layer plays in the paper (§4, "Queries"): parsing and
+// straightforward planning; all execution strategy lives below, in the
+// Voodoo algebra.
+//
+// Supported grammar:
+//
+//	SELECT item [, item]*
+//	FROM table [JOIN table ON col = col]*
+//	[WHERE predicate]
+//	[GROUP BY col [, col]*]
+//	[HAVING predicate-over-outputs]
+//	[ORDER BY name [DESC] [, ...]]
+//	[LIMIT n]
+//
+// where item is an expression, an aggregate (SUM/COUNT/AVG/MIN/MAX), or
+// either with an AS alias; predicates support AND/OR/NOT, comparisons,
+// BETWEEN ... AND ..., IN (...), numeric literals, string literals
+// (resolved against dictionary-encoded columns) and DATE 'YYYY-MM-DD'
+// literals.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, identifiers lower-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true,
+	"ORDER":  true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IN": true, "JOIN": true, "ON": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"DESC": true, "ASC": true, "DATE": true, "INTERVAL": true,
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: strings.ToLower(word), pos: i})
+			}
+			i = j
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{kind: tokOp, text: op, pos: i})
+					i += len(op)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '<', '>', '=', '.', '%':
+				toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			}
+		}
+	next:
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}

@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"voodoo/internal/vector"
+)
+
+func sample() *Table {
+	t := NewTable("orders")
+	t.AddInt("okey", []int64{10, 20, 30, 40})
+	t.AddFloat("total", []float64{1.5, 2.5, 0.5, 9})
+	t.AddString("status", []string{"O", "F", "O", "P"})
+	return t
+}
+
+func TestStats(t *testing.T) {
+	tb := sample()
+	st, ok := tb.Stats("okey")
+	if !ok || st.MinI != 10 || st.MaxI != 40 {
+		t.Fatalf("okey stats = %+v, %v", st, ok)
+	}
+	st, _ = tb.Stats("total")
+	if st.MinF != 0.5 || st.MaxF != 9 {
+		t.Fatalf("total stats = %+v", st)
+	}
+}
+
+func TestDictionaryEncoding(t *testing.T) {
+	tb := sample()
+	d, ok := tb.Def("status")
+	if !ok || len(d.Dict) != 3 {
+		t.Fatalf("dict = %v", d.Dict)
+	}
+	// Sorted dictionary: F < O < P.
+	if d.Dict[0] != "F" || d.Dict[1] != "O" || d.Dict[2] != "P" {
+		t.Fatalf("dict should be sorted: %v", d.Dict)
+	}
+	code, ok := tb.Code("status", "O")
+	if !ok || code != 1 {
+		t.Fatalf("Code(O) = %d, %v", code, ok)
+	}
+	if _, ok := tb.Code("status", "Z"); ok {
+		t.Fatal("Code(Z) should not exist")
+	}
+	if got := tb.Decode("status", tb.Col("status").Int(3)); got != "P" {
+		t.Fatalf("row 3 status = %q, want P", got)
+	}
+	if lb := tb.CodeLowerBound("status", "G"); lb != 1 {
+		t.Fatalf("lower bound of G = %d, want 1 (O)", lb)
+	}
+}
+
+func TestCatalogLoadVector(t *testing.T) {
+	c := NewCatalog().Add(sample())
+	v, err := c.LoadVector("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 4 || v.Col("okey") == nil || v.Col("status") == nil {
+		t.Fatalf("bad table vector: %v", v.Names())
+	}
+	single, err := c.LoadVector("orders.total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Len() != 4 || single.Col("total").Float(3) != 9 {
+		t.Fatalf("bad column vector")
+	}
+	if _, err := c.LoadVector("nope"); err == nil {
+		t.Fatal("expected error for unknown vector")
+	}
+}
+
+func TestCatalogPersistVector(t *testing.T) {
+	c := NewCatalog()
+	v := vector.New(2).Set("x", vector.NewInt([]int64{1, 2}))
+	if err := c.PersistVector("tmp", v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.LoadVector("tmp")
+	if err != nil || !got.Equal(v) {
+		t.Fatalf("persisted vector round trip failed: %v", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCatalog().Add(sample())
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := back.Table("orders")
+	if tb == nil {
+		t.Fatal("orders table missing after reload")
+	}
+	orig := sample()
+	if !tb.Vector().Equal(orig.Vector()) {
+		t.Fatal("data changed across save/load")
+	}
+	d, _ := tb.Def("status")
+	if len(d.Dict) != 3 || d.Dict[2] != "P" {
+		t.Fatalf("dictionary lost: %v", d.Dict)
+	}
+	st, ok := tb.Stats("okey")
+	if !ok || st.MaxI != 40 {
+		t.Fatalf("stats lost: %+v", st)
+	}
+}
+
+func TestLoadTableBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.vdb")
+	if err := writeFile(path, []byte("NOTMAGIC")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTable(path); err == nil {
+		t.Fatal("expected bad magic error")
+	}
+}
+
+func TestColumnLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb := NewTable("t")
+	tb.AddInt("a", []int64{1, 2})
+	tb.AddInt("b", []int64{1})
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}

@@ -1,0 +1,343 @@
+// Package tpch provides a deterministic pure-Go TPC-H data generator and
+// the fourteen query plans the paper evaluates (Figures 12 and 13).
+//
+// Deviations from dbgen, each preserving what the evaluation measures:
+//
+//   - keys are dense 1..N (dbgen's orderkey is sparse); the paper sizes its
+//     open tables from min/max metadata either way, and selectivities are
+//     unchanged;
+//   - dates are stored as integer days since 1992-01-01, with derived year
+//     columns (l_shipyear, o_orderyear) materialized at load time — the
+//     evaluated queries never parse dates at runtime in any engine;
+//   - text fields are drawn from small realistic vocabularies and
+//     dictionary-encoded (as the paper's MonetDB storage does);
+//   - partsupp rows get a dense composite id, ps_comboid =
+//     4*(ps_partkey-1) + j, recoverable from (l_partkey, l_suppkey) with
+//     integer arithmetic; Q9/Q20 join through it instead of a composite
+//     hash key (the paper's metadata-join trick applied to a two-column
+//     key).
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"voodoo/internal/storage"
+)
+
+// Epoch is day zero: 1992-01-01.
+var epoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Date converts "YYYY-MM-DD" into days since 1992-01-01.
+func Date(s string) int64 {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		panic(fmt.Sprintf("tpch: bad date %q", s))
+	}
+	return int64(t.Sub(epoch).Hours() / 24)
+}
+
+// DateAdd shifts a day count by calendar years/months/days.
+func DateAdd(d int64, years, months, days int) int64 {
+	t := epoch.AddDate(0, 0, int(d)).AddDate(years, months, days)
+	return int64(t.Sub(epoch).Hours() / 24)
+}
+
+// YearOf returns the calendar year of a day count.
+func YearOf(d int64) int64 {
+	return int64(epoch.AddDate(0, 0, int(d)).Year())
+}
+
+var (
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations = []struct {
+		name   string
+		region int64
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	instructs  = []string{"COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	typeSyl1   = []string{"ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD"}
+	typeSyl2   = []string{"ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED"}
+	typeSyl3   = []string{"BRASS", "COPPER", "NICKEL", "STEEL", "TIN"}
+	containers = []string{"JUMBO BOX", "JUMBO CASE", "JUMBO PACK", "JUMBO PKG",
+		"LG BOX", "LG CASE", "LG PACK", "LG PKG",
+		"MED BAG", "MED BOX", "MED PACK", "MED PKG",
+		"SM BOX", "SM CASE", "SM PACK", "SM PKG"}
+	colors = []string{"almond", "azure", "beige", "black", "blue", "brown",
+		"chartreuse", "coral", "cyan", "forest", "green", "ivory",
+		"lemon", "magenta", "navy", "olive"}
+)
+
+// SuppliersPerPart is the number of partsupp rows per part.
+const SuppliersPerPart = 4
+
+// Config scales the generator.
+type Config struct {
+	// SF is the TPC-H scale factor (1.0 ≈ 6M lineitems). The paper runs
+	// SF 10; the reproduction defaults to 0.1 and the cost models scale
+	// linearly.
+	SF   float64
+	Seed int64
+}
+
+// Sizes returns the base-table cardinalities for the configuration.
+func (c Config) Sizes() (suppliers, customers, parts, orders int) {
+	sf := c.SF
+	if sf <= 0 {
+		sf = 0.1
+	}
+	suppliers = max(int(10000*sf), 40)
+	suppliers = (suppliers + 3) / 4 * 4 // ps_comboid recovery needs 4 | S
+	customers = max(int(150000*sf), 100)
+	parts = max(int(200000*sf), 80)
+	orders = max(int(1500000*sf), 200)
+	return
+}
+
+// Generate builds the eight-table catalog.
+func Generate(cfg Config) *storage.Catalog {
+	r := rand.New(rand.NewSource(cfg.Seed + 7))
+	nSupp, nCust, nPart, nOrd := cfg.Sizes()
+
+	cat := storage.NewCatalog()
+
+	// region
+	{
+		t := storage.NewTable("region")
+		keys := make([]int64, len(regions))
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		t.AddInt("r_regionkey", keys)
+		t.AddString("r_name", regions)
+		cat.Add(t)
+	}
+
+	// nation
+	{
+		t := storage.NewTable("nation")
+		keys := make([]int64, len(nations))
+		names := make([]string, len(nations))
+		rk := make([]int64, len(nations))
+		for i, n := range nations {
+			keys[i] = int64(i)
+			names[i] = n.name
+			rk[i] = n.region
+		}
+		t.AddInt("n_nationkey", keys)
+		t.AddString("n_name", names)
+		t.AddInt("n_regionkey", rk)
+		cat.Add(t)
+	}
+
+	// supplier
+	{
+		t := storage.NewTable("supplier")
+		key := make([]int64, nSupp)
+		nat := make([]int64, nSupp)
+		bal := make([]float64, nSupp)
+		for i := range key {
+			key[i] = int64(i + 1)
+			nat[i] = r.Int63n(int64(len(nations)))
+			bal[i] = float64(r.Intn(2000000))/100 - 1000
+		}
+		t.AddInt("s_suppkey", key)
+		t.AddInt("s_nationkey", nat)
+		t.AddFloat("s_acctbal", bal)
+		cat.Add(t)
+	}
+
+	// part
+	partRetail := make([]float64, nPart)
+	{
+		t := storage.NewTable("part")
+		key := make([]int64, nPart)
+		name := make([]string, nPart)
+		brand := make([]string, nPart)
+		ptype := make([]string, nPart)
+		size := make([]int64, nPart)
+		cont := make([]string, nPart)
+		for i := range key {
+			key[i] = int64(i + 1)
+			name[i] = colors[r.Intn(len(colors))] + " " + colors[r.Intn(len(colors))]
+			brand[i] = fmt.Sprintf("Brand#%d%d", 1+r.Intn(5), 1+r.Intn(5))
+			ptype[i] = typeSyl1[r.Intn(6)] + " " + typeSyl2[r.Intn(5)] + " " + typeSyl3[r.Intn(5)]
+			size[i] = int64(1 + r.Intn(50))
+			cont[i] = containers[r.Intn(len(containers))]
+			partRetail[i] = 900 + float64((i+1)%2000)/10
+		}
+		t.AddInt("p_partkey", key)
+		t.AddString("p_name", name)
+		t.AddString("p_brand", brand)
+		t.AddString("p_type", ptype)
+		t.AddInt("p_size", size)
+		t.AddString("p_container", cont)
+		cat.Add(t)
+	}
+
+	// partsupp: SuppliersPerPart rows per part; supplier j of part p is
+	// ((p + j*(S/4)) mod S) + 1, so j (and thus ps_comboid) is
+	// recoverable from (partkey, suppkey) by integer arithmetic.
+	{
+		n := nPart * SuppliersPerPart
+		t := storage.NewTable("partsupp")
+		pk := make([]int64, n)
+		sk := make([]int64, n)
+		combo := make([]int64, n)
+		cost := make([]float64, n)
+		avail := make([]int64, n)
+		for p := 0; p < nPart; p++ {
+			for j := 0; j < SuppliersPerPart; j++ {
+				i := p*SuppliersPerPart + j
+				pk[i] = int64(p + 1)
+				sk[i] = supplierFor(int64(p+1), j, nSupp)
+				combo[i] = int64(p*SuppliersPerPart + j)
+				cost[i] = float64(100+r.Intn(90000)) / 100
+				avail[i] = int64(1 + r.Intn(9999))
+			}
+		}
+		t.AddInt("ps_partkey", pk)
+		t.AddInt("ps_suppkey", sk)
+		t.AddInt("ps_comboid", combo)
+		t.AddFloat("ps_supplycost", cost)
+		t.AddInt("ps_availqty", avail)
+		cat.Add(t)
+	}
+
+	// customer
+	{
+		t := storage.NewTable("customer")
+		key := make([]int64, nCust)
+		nat := make([]int64, nCust)
+		bal := make([]float64, nCust)
+		seg := make([]string, nCust)
+		for i := range key {
+			key[i] = int64(i + 1)
+			nat[i] = r.Int63n(int64(len(nations)))
+			bal[i] = float64(r.Intn(1100000))/100 - 1000
+			seg[i] = segments[r.Intn(len(segments))]
+		}
+		t.AddInt("c_custkey", key)
+		t.AddInt("c_nationkey", nat)
+		t.AddFloat("c_acctbal", bal)
+		t.AddString("c_mktsegment", seg)
+		cat.Add(t)
+	}
+
+	// orders + lineitem
+	endDate := Date("1998-08-02")
+	ordT := storage.NewTable("orders")
+	oKey := make([]int64, nOrd)
+	oCust := make([]int64, nOrd)
+	oDate := make([]int64, nOrd)
+	oYear := make([]int64, nOrd)
+	oPrio := make([]string, nOrd)
+
+	var (
+		lOrder, lPart, lSupp, lQty      []int64
+		lShip, lCommit, lReceipt, lYear []int64
+		lPrice, lDisc, lTax             []float64
+		lFlag, lStatus, lMode, lInstr   []string
+	)
+	cutoff := Date("1995-06-17")
+	for o := 0; o < nOrd; o++ {
+		oKey[o] = int64(o + 1)
+		oCust[o] = int64(1 + r.Intn(nCust))
+		od := r.Int63n(endDate - 151)
+		oDate[o] = od
+		oYear[o] = YearOf(od)
+		oPrio[o] = priorities[r.Intn(len(priorities))]
+		lines := 1 + r.Intn(7)
+		for ln := 0; ln < lines; ln++ {
+			p := int64(1 + r.Intn(nPart))
+			j := r.Intn(SuppliersPerPart)
+			s := supplierFor(p, j, nSupp)
+			qty := int64(1 + r.Intn(50))
+			ship := od + int64(1+r.Intn(121))
+			commit := od + int64(30+r.Intn(61))
+			receipt := ship + int64(1+r.Intn(30))
+			lOrder = append(lOrder, oKey[o])
+			lPart = append(lPart, p)
+			lSupp = append(lSupp, s)
+			lQty = append(lQty, qty)
+			lPrice = append(lPrice, float64(qty)*partRetail[p-1])
+			lDisc = append(lDisc, float64(r.Intn(11))/100)
+			lTax = append(lTax, float64(r.Intn(9))/100)
+			lShip = append(lShip, ship)
+			lCommit = append(lCommit, commit)
+			lReceipt = append(lReceipt, receipt)
+			lYear = append(lYear, YearOf(ship))
+			if receipt <= cutoff {
+				if r.Intn(2) == 0 {
+					lFlag = append(lFlag, "R")
+				} else {
+					lFlag = append(lFlag, "A")
+				}
+			} else {
+				lFlag = append(lFlag, "N")
+			}
+			if ship > cutoff {
+				lStatus = append(lStatus, "O")
+			} else {
+				lStatus = append(lStatus, "F")
+			}
+			lMode = append(lMode, shipmodes[r.Intn(len(shipmodes))])
+			lInstr = append(lInstr, instructs[r.Intn(len(instructs))])
+		}
+	}
+	ordT.AddInt("o_orderkey", oKey)
+	ordT.AddInt("o_custkey", oCust)
+	ordT.AddInt("o_orderdate", oDate)
+	ordT.AddInt("o_orderyear", oYear)
+	ordT.AddString("o_orderpriority", oPrio)
+	cat.Add(ordT)
+
+	li := storage.NewTable("lineitem")
+	li.AddInt("l_orderkey", lOrder)
+	li.AddInt("l_partkey", lPart)
+	li.AddInt("l_suppkey", lSupp)
+	li.AddInt("l_quantity", lQty)
+	li.AddFloat("l_extendedprice", lPrice)
+	li.AddFloat("l_discount", lDisc)
+	li.AddFloat("l_tax", lTax)
+	li.AddString("l_returnflag", lFlag)
+	li.AddString("l_linestatus", lStatus)
+	li.AddInt("l_shipdate", lShip)
+	li.AddInt("l_commitdate", lCommit)
+	li.AddInt("l_receiptdate", lReceipt)
+	li.AddInt("l_shipyear", lYear)
+	li.AddString("l_shipmode", lMode)
+	li.AddString("l_shipinstruct", lInstr)
+	cat.Add(li)
+
+	return cat
+}
+
+// supplierFor is the deterministic part→supplier mapping.
+func supplierFor(partkey int64, j, nSupp int) int64 {
+	s := int64(nSupp)
+	return (partkey+int64(j)*(s/SuppliersPerPart))%s + 1
+}
+
+// ComboOf recovers the dense partsupp id from a (partkey, suppkey) pair as
+// integer arithmetic: j = ((suppkey-1-partkey) mod S) / (S/4).
+func ComboOf(partkey, suppkey int64, nSupp int) int64 {
+	s := int64(nSupp)
+	j := ((suppkey - 1 - partkey) % s)
+	if j < 0 {
+		j += s
+	}
+	j /= s / SuppliersPerPart
+	return (partkey-1)*SuppliersPerPart + j
+}

@@ -1,0 +1,185 @@
+package vector
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" {
+		t.Error("kind names wrong")
+	}
+	if !strings.HasPrefix(Kind(7).String(), "kind(") {
+		t.Error("unknown kind should stringify as kind(n)")
+	}
+}
+
+func TestRunMetaIsConstant(t *testing.T) {
+	if !(RunMeta{From: 3}).IsConstant() {
+		t.Error("step 0 is constant")
+	}
+	if !(RunMeta{StepNum: 1, StepDen: 1, Cap: 1}).IsConstant() {
+		t.Error("cap 1 is constant")
+	}
+	if Step(0, 1).IsConstant() {
+		t.Error("identity is not constant")
+	}
+}
+
+func TestNewConstAndEmptyFloat(t *testing.T) {
+	c := NewConst(5, 42)
+	for i := 0; i < 5; i++ {
+		if c.Int(i) != 42 {
+			t.Fatalf("const slot %d = %d", i, c.Int(i))
+		}
+	}
+	f := NewEmptyFloat(3)
+	if f.Valid(0) || f.Kind() != Float {
+		t.Fatal("empty float column should start invalid")
+	}
+	f.SetFloat(1, 2.5)
+	if !f.Valid(1) || f.Float(1) != 2.5 {
+		t.Fatal("SetFloat failed")
+	}
+}
+
+func TestColumnAccessorPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	fcol := NewFloat([]float64{1})
+	icol := NewInt([]int64{1})
+	gen := NewConst(2, 1)
+	expectPanic("Int on float", func() { fcol.Int(0) })
+	expectPanic("Ints on float", func() { fcol.Ints() })
+	expectPanic("Floats on int", func() { icol.Floats() })
+	expectPanic("SetInt on float", func() { fcol.SetInt(0, 1) })
+	expectPanic("SetFloat on int", func() { icol.SetFloat(0, 1) })
+	expectPanic("SetInt on generated", func() { gen.SetInt(0, 1) })
+	expectPanic("SetEmpty on generated", func() { gen.SetEmpty(0) })
+	expectPanic("slice out of range", func() { icol.Slice(0, 5) })
+}
+
+func TestGeneratedColumnAccess(t *testing.T) {
+	g := NewGenerated(6, Step(2, 1))
+	if g.Int(3) != 5 || g.Float(3) != 5 {
+		t.Fatal("generated access wrong")
+	}
+	ints := g.Ints() // materializing copy
+	if len(ints) != 6 || ints[5] != 7 {
+		t.Fatal("Ints() of generated wrong")
+	}
+	if m, ok := g.Generated(); !ok || m.From != 2 {
+		t.Fatal("Generated() lost metadata")
+	}
+	if _, ok := NewInt([]int64{1}).Generated(); ok {
+		t.Fatal("materialized column is not generated")
+	}
+}
+
+func TestFloatSliceAndMaterialize(t *testing.T) {
+	f := NewFloat([]float64{1, 2, 3, 4})
+	f.SetEmpty(2)
+	s := f.Slice(1, 4)
+	if s.Float(0) != 2 || s.Valid(1) || s.Float(2) != 4 {
+		t.Fatal("float slice wrong")
+	}
+	m := f.Materialize()
+	if !m.Equal(f) {
+		t.Fatal("materialize changed data")
+	}
+}
+
+func TestColumnEqualMismatchedKinds(t *testing.T) {
+	if NewInt([]int64{1}).Equal(NewFloat([]float64{1})) {
+		t.Error("different kinds should not be equal")
+	}
+	if NewInt([]int64{1}).Equal(NewInt([]int64{1, 2})) {
+		t.Error("different lengths should not be equal")
+	}
+	a := NewInt([]int64{1, 2})
+	b := NewInt([]int64{1, 2})
+	b.SetEmpty(1)
+	if a.Equal(b) {
+		t.Error("different validity should not be equal")
+	}
+	fa := NewFloat([]float64{1, 2})
+	fb := NewFloat([]float64{1, 3})
+	if fa.Equal(fb) {
+		t.Error("different float values should not be equal")
+	}
+}
+
+func TestVectorStringRendering(t *testing.T) {
+	v := New(20)
+	ints := NewEmptyInt(20)
+	ints.SetInt(0, 7)
+	v.Set("a", ints)
+	v.Set("b", NewFloat(make([]float64, 20)))
+	s := v.String()
+	if !strings.Contains(s, "vector[20]{.a, .b}") {
+		t.Errorf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "ε") {
+		t.Errorf("empty slots should render as ε:\n%s", s)
+	}
+	if !strings.Contains(s, "more)") {
+		t.Errorf("long vectors should truncate:\n%s", s)
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	v := New(2).Set("x", NewConst(2, 1))
+	if v.FirstName() != "x" {
+		t.Error("FirstName wrong")
+	}
+	if v.MustCol("x") == nil {
+		t.Error("MustCol failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCol on missing should panic")
+		}
+	}()
+	v.MustCol("nope")
+}
+
+func TestSingleColPanicsOnMulti(t *testing.T) {
+	v := New(1).Set("a", NewConst(1, 1)).Set("b", NewConst(1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("SingleCol on multi-attribute vector should panic")
+		}
+	}()
+	v.SingleCol()
+}
+
+func TestCloneSharesColumns(t *testing.T) {
+	v := New(2).Set("x", NewInt([]int64{1, 2}))
+	c := v.Clone()
+	c.Set("y", NewConst(2, 9))
+	if v.Col("y") != nil {
+		t.Error("clone should not mutate the original's schema")
+	}
+	if c.Col("x") != v.Col("x") {
+		t.Error("clone should share column storage")
+	}
+}
+
+func TestVectorEqualNegativeCases(t *testing.T) {
+	a := New(1).Set("x", NewConst(1, 1))
+	b := New(2).Set("x", NewConst(2, 1))
+	if a.Equal(b) {
+		t.Error("different lengths")
+	}
+	c := New(1).Set("y", NewConst(1, 1))
+	if a.Equal(c) {
+		t.Error("different schemas")
+	}
+}
