@@ -16,14 +16,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"voodoo/internal/compile"
 	"voodoo/internal/core"
+	"voodoo/internal/exec"
 	"voodoo/internal/opencl"
 	"voodoo/internal/rel"
 	"voodoo/internal/sql"
@@ -40,7 +43,22 @@ func main() {
 	showCL := flag.Bool("show-opencl", false, "print the generated OpenCL C")
 	qnum := flag.Int("q", 0, "run this TPC-H query number instead of a SQL string")
 	progFile := flag.String("prog", "", "run a textual Voodoo program (paper SSA notation) from this file")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (e.g. 500ms; 0 = unlimited)")
+	maxMem := flag.String("max-mem", "", "per-query buffer allocation budget (e.g. 64m, 1g; empty = unlimited)")
 	flag.Parse()
+
+	var limits exec.Limits
+	if *maxMem != "" {
+		n, err := parseSize(*maxMem)
+		if err != nil {
+			fatal(err)
+		}
+		limits.MaxBytes = n
+	}
+	if *timeout > 0 {
+		limits.Deadline = time.Now().Add(*timeout)
+	}
+	ctx := context.Background()
 
 	var cat *storage.Catalog
 	var err error
@@ -65,6 +83,7 @@ func main() {
 		fatal(fmt.Errorf("unknown backend %q", *backend))
 	}
 	e.Opt = compile.Options{Predication: *predicate}
+	e.Limits = limits
 
 	if *progFile != "" {
 		src, err := os.ReadFile(*progFile)
@@ -87,8 +106,9 @@ func main() {
 			fmt.Println("-- generated OpenCL C:")
 			fmt.Println(opencl.Generate(plan.Kernel()))
 		}
+		plan.Limits = limits
 		start := time.Now()
-		res, err := plan.Run()
+		res, err := plan.RunContext(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -147,7 +167,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, _, err := e.Run(q)
+	res, _, err := e.RunContext(ctx, q)
 	if err != nil {
 		fatal(err)
 	}
@@ -181,6 +201,25 @@ func renderDecoded(res *rel.Result) string {
 }
 
 func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+
+// parseSize parses a byte count with an optional k/m/g suffix (powers of
+// 1024): "512", "64m", "1g".
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch strings.ToLower(s[len(s)-1:]) {
+	case "k":
+		mult, s = 1<<10, s[:len(s)-1]
+	case "m":
+		mult, s = 1<<20, s[:len(s)-1]
+	case "g":
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512, 64m, 1g)", s)
+	}
+	return n * mult, nil
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "voodoo-run:", err)

@@ -335,6 +335,9 @@ func (em *emitter) emitNew(e expr) kernel.Reg {
 		}
 		return r
 	}
+	// Invariant violation: expr is a closed set of types this package
+	// constructs itself; an unknown type is a compiler bug, recovered into
+	// *exec.PanicError at the plan-step boundary.
 	panic(fmt.Sprintf("compile: unknown expr %T", e))
 }
 

@@ -1,0 +1,103 @@
+package compile_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/core"
+	"voodoo/internal/exec"
+	"voodoo/internal/faultinject"
+	"voodoo/internal/interp"
+	"voodoo/internal/vector"
+)
+
+// sumPlan compiles the Figure-3-style hierarchical sum over n values.
+func sumPlan(t *testing.T, n int, lim exec.Limits) *compile.Plan {
+	t.Helper()
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	st := interp.MemStorage{
+		"input": vector.New(n).Set("val", vector.NewInt(vals)),
+	}
+	b := core.NewBuilder()
+	input := b.Load("input")
+	ids := b.Range(input)
+	part := b.Project("partition", b.Divide(ids, b.Constant(16)), "")
+	withPart := b.Zip("val", input, "val", "partition", part, "partition")
+	pSum := b.FoldSum(withPart, "partition", "val")
+	b.GlobalSum(pSum, "")
+	plan, err := compile.Compile(b.Program(), st, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Limits = lim
+	return plan
+}
+
+func TestPlanRunContextCancelled(t *testing.T) {
+	plan := sumPlan(t, 1024, exec.Limits{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPlanGovernorMaxBytes(t *testing.T) {
+	// The kernel needs several n-slot buffers; a budget far below n*8
+	// must fail before any work runs.
+	plan := sumPlan(t, 1<<16, exec.Limits{MaxBytes: 1024})
+	_, err := plan.RunContext(context.Background())
+	if !errors.Is(err, exec.ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted", err)
+	}
+	// A generous budget runs to completion.
+	plan = sumPlan(t, 1<<16, exec.Limits{MaxBytes: 1 << 26})
+	if _, err := plan.RunContext(context.Background()); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+}
+
+// TestPlanFragmentPanicIsolated injects a mid-fragment panic through the
+// full compiled-plan path and asserts it surfaces as *exec.PanicError.
+func TestPlanFragmentPanicIsolated(t *testing.T) {
+	defer faultinject.Clear()
+	faultinject.Set(faultinject.Hooks{
+		Item: func(frag string, gid int) { panic("injected plan bug") },
+	})
+	plan := sumPlan(t, 1024, exec.Limits{})
+	_, err := plan.RunContext(context.Background())
+	var pe *exec.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *exec.PanicError", err, err)
+	}
+	if pe.Value != "injected plan bug" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+}
+
+// TestBulkPlanChargesAllocations runs the ForceBulk (Ocelot-style) path,
+// whose steps allocate output buffers at runtime, under a tiny budget.
+func TestBulkPlanChargesAllocations(t *testing.T) {
+	n := 1 << 14
+	vals := make([]int64, n)
+	st := interp.MemStorage{
+		"input": vector.New(n).Set("val", vector.NewInt(vals)),
+	}
+	b := core.NewBuilder()
+	input := b.Load("input")
+	ids := b.Range(input)
+	b.GlobalSum(b.Project("x", b.Add(ids, ids), ""), "x")
+	plan, err := compile.Compile(b.Program(), st, compile.Options{ForceBulk: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Limits = exec.Limits{MaxBytes: 2048}
+	if _, err := plan.RunContext(context.Background()); !errors.Is(err, exec.ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted", err)
+	}
+}

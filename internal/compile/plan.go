@@ -1,7 +1,9 @@
 package compile
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"voodoo/internal/core"
 	"voodoo/internal/exec"
@@ -22,6 +24,11 @@ type Plan struct {
 	// CollectStats makes Run count instruction/memory/branch events,
 	// which device cost models convert into simulated times.
 	CollectStats bool
+
+	// Limits is the per-query resource governor: buffer allocations are
+	// charged against MaxBytes, fragment extents checked against
+	// MaxExtent, and Deadline enforced as a context deadline.
+	Limits exec.Limits
 }
 
 // Kernel exposes the generated kernel (fragment listing, OpenCL source
@@ -43,12 +50,15 @@ type Result struct {
 // runtime is the mutable state of one plan execution.
 type runtime struct {
 	plan  *Plan
+	ctx   context.Context
 	env   *exec.Env
 	stats *exec.Stats
 }
 
 type step interface {
 	run(rt *runtime) error
+	// stepName labels the step in errors and recovered panics.
+	stepName() string
 }
 
 // bindStep attaches a storage column to an input buffer.
@@ -61,6 +71,8 @@ func (s *bindStep) run(rt *runtime) error {
 	rt.env.Bufs[s.buf] = exec.FromColumn(s.col)
 	return nil
 }
+
+func (s *bindStep) stepName() string { return "bind" }
 
 // fragStep executes one kernel fragment.
 type fragStep struct {
@@ -78,8 +90,10 @@ func (s *fragStep) run(rt *runtime) error {
 		})
 		fs = &rt.stats.Frags[len(rt.stats.Frags)-1]
 	}
-	return exec.RunFragment(s.f, rt.env, rt.plan.opt.Workers, fs)
+	return exec.RunFragmentContext(rt.ctx, s.f, rt.env, rt.plan.opt.Workers, fs)
 }
+
+func (s *fragStep) stepName() string { return "fragment " + s.f.Name }
 
 // bulkStep evaluates one statement with interpreter semantics: inputs are
 // converted to vectors, the mini-program runs, and output columns are bound
@@ -112,13 +126,19 @@ func (s *bulkStep) run(rt *runtime) error {
 		if col == nil {
 			return fmt.Errorf("bulk %s: missing output attribute %q", s.name, name)
 		}
-		rt.env.Bufs[s.outBufs[i]] = exec.FromColumn(col)
+		b := exec.FromColumn(col)
+		if err := rt.env.Charge(b.Bytes()); err != nil {
+			return fmt.Errorf("bulk %s: %w", s.name, err)
+		}
+		rt.env.Bufs[s.outBufs[i]] = b
 	}
 	if rt.stats != nil && s.statsFn != nil {
 		rt.stats.Frags = append(rt.stats.Frags, s.statsFn(args, out))
 	}
 	return nil
 }
+
+func (s *bulkStep) stepName() string { return "bulk " + s.name }
 
 // persistStep writes a converted value back to storage.
 type persistStep struct {
@@ -134,20 +154,46 @@ func (s *persistStep) run(rt *runtime) error {
 	return rt.plan.st.PersistVector(s.name, v)
 }
 
+func (s *persistStep) stepName() string { return "persist " + s.name }
+
 // Run executes the plan and returns the root values.
 func (p *Plan) Run() (*Result, error) {
-	rt := &runtime{plan: p, env: exec.NewEnv(p.kern)}
+	return p.RunContext(context.Background())
+}
+
+// RunContext is Run under the hardening contract: the context (and the
+// plan's Deadline limit) cancels between steps and inside fragment loops,
+// buffer allocations are charged against the Limits budget, and a panic
+// in any step is recovered into a *exec.PanicError so one bad kernel
+// fails its query instead of the process.
+func (p *Plan) RunContext(ctx context.Context) (*Result, error) {
+	if d := p.Limits.Deadline; !d.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, d)
+		defer cancel()
+	}
+	env, err := exec.NewEnvLimited(p.kern, p.Limits)
+	if err != nil {
+		return nil, err
+	}
+	rt := &runtime{plan: p, ctx: ctx, env: env}
 	res := &Result{Values: map[core.Ref]*vector.Vector{}}
 	if p.CollectStats {
 		rt.stats = &res.Stats
 	}
 	for _, s := range p.steps {
-		if err := s.run(rt); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := runStep(s, rt); err != nil {
 			return nil, err
 		}
 	}
 	for _, o := range p.outputs {
-		v, err := o.conv(rt)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := convertProtected(o, rt)
 		if err != nil {
 			return nil, err
 		}
@@ -155,6 +201,39 @@ func (p *Plan) Run() (*Result, error) {
 	}
 	return res, nil
 }
+
+// runStep executes one plan step with panic isolation: a panic inside the
+// step (a bulk evaluator, a converter, a fragment run on this goroutine)
+// becomes a *exec.PanicError naming the step.
+func runStep(s step, rt *runtime) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*exec.PanicError); ok {
+				err = pe
+				return
+			}
+			err = &exec.PanicError{Fragment: s.stepName(), Value: r, Stack: stack()}
+		}
+	}()
+	return s.run(rt)
+}
+
+// convertProtected materializes one root output with the same panic
+// isolation as plan steps.
+func convertProtected(o output, rt *runtime) (v *vector.Vector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*exec.PanicError); ok {
+				v, err = nil, pe
+				return
+			}
+			v, err = nil, &exec.PanicError{Fragment: fmt.Sprintf("output v%d", o.ref), Value: r, Stack: stack()}
+		}
+	}()
+	return o.conv(rt)
+}
+
+func stack() []byte { return debug.Stack() }
 
 // converter produces the interpreter-layout vector for a compiled value at
 // runtime.

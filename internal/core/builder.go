@@ -73,6 +73,9 @@ func (b *Builder) Cross(out1 string, v1 Ref, out2 string, v2 Ref) Ref {
 // attribute out. One-slot operands broadcast.
 func (b *Builder) Arith(op Op, out string, a Ref, akp string, c Ref, ckp string) Ref {
 	if !op.IsArith() {
+		// Invariant violation: the builder is a programmatic API; callers
+		// pass Op constants, never user input (core.Parse maps operator
+		// names through opByName and rejects unknown ones with an error).
 		panic("core: Arith requires an arithmetic/logical/comparison op")
 	}
 	return b.p.Add(Stmt{Op: op, Args: []Ref{a, c}, Kp: []string{akp, ckp}, Out: []string{out}})

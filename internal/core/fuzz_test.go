@@ -1,0 +1,46 @@
+package core
+
+import "testing"
+
+// FuzzParse asserts that no textual Voodoo program (the -prog input of
+// cmd/voodoo-run) can panic the SSA parser or Validate: every outcome is
+// either a validated program or a returned error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`input := Load("input")
+ids := Range(from=0, input)
+partitionSize := Constant(1024)
+partitionIDs := Divide(ids, partitionSize)`,
+		`a := Range(from=0, size=10)
+b := Range(from=0, size=10, step=2)
+c := Add(a, b)
+d := FoldSum(c, .val)`,
+		`x := Constant(3.25)
+y := Constant(-7)`,
+		`t := Load("t")
+z := Zip(v, t, val, w, t, val)
+p := Project(out, z.v, out=.o)`,
+		`g := Load("t")
+s := FoldSelect(g.pred, .pred)
+h := Gather(g, s)`,
+		"# comment only\n// another",
+		"x := Cross(x)",
+		"x := Range()",
+		`x := Load("")`,
+		"x := Unknown(1)",
+		":= Add(a, b)",
+		"x := Add(a, b", // unbalanced
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound parse cost, not panic-safety
+		}
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatalf("Parse(%q) returned neither program nor error", src)
+		}
+	})
+}

@@ -10,13 +10,70 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"voodoo/internal/faultinject"
 	"voodoo/internal/kernel"
 	"voodoo/internal/vector"
 )
+
+// ErrResourceExhausted is wrapped by every error the resource governor
+// returns; match it with errors.Is.
+var ErrResourceExhausted = errors.New("resource limit exhausted")
+
+// errAborted is what a worker returns when it stops because a sibling
+// worker already failed; it never surfaces to callers.
+var errAborted = errors.New("exec: aborted after sibling worker failure")
+
+// Limits is the per-query resource governor. The zero value imposes no
+// limits.
+type Limits struct {
+	// MaxBytes bounds the query's total buffer allocation (kernel buffers
+	// plus bulk-step outputs); exceeding it fails the allocating step with
+	// ErrResourceExhausted before the memory is committed.
+	MaxBytes int64
+	// MaxExtent bounds the extent (work-item count) of any single
+	// fragment.
+	MaxExtent int
+	// Deadline, when non-zero, bounds the query's wall-clock time; the
+	// context-taking entry points enforce it as a context deadline.
+	Deadline time.Time
+}
+
+// PanicError is a panic recovered at a worker-goroutine or plan-step
+// boundary: one bad kernel or bulk step fails its query instead of
+// killing the process.
+type PanicError struct {
+	Fragment string // fragment or step name
+	Value    any    // the recovered panic value
+	Stack    []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: panic in %s: %v", e.Fragment, e.Value)
+}
+
+// protect runs fn, converting a panic into a *PanicError attributed to
+// frag.
+func protect(frag string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Fragment: frag, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
 
 // Buffer is the runtime storage behind one kernel buffer.
 type Buffer struct {
@@ -70,18 +127,52 @@ func (b *Buffer) Column() *vector.Column {
 	return c
 }
 
+// Bytes returns the buffer's storage footprint (8-byte scalars plus a
+// byte per validity slot), the unit the resource governor accounts in.
+func (b *Buffer) Bytes() int64 {
+	n := int64(b.Len()) * 8
+	if b.Valid != nil {
+		n += int64(len(b.Valid))
+	}
+	return n
+}
+
 // Env binds runtime buffers to a kernel's buffer declarations.
 type Env struct {
 	Bufs []*Buffer
+
+	lim       Limits
+	allocated int64
 }
 
 // NewEnv allocates an environment for k with all non-input buffers
-// allocated (input buffers must be bound with Bind before Run).
+// allocated (input buffers must be bound with Bind before Run). It
+// imposes no resource limits; use NewEnvLimited for a governed query.
 func NewEnv(k *kernel.Kernel) *Env {
-	e := &Env{Bufs: make([]*Buffer, len(k.Bufs))}
+	e, err := NewEnvLimited(k, Limits{})
+	if err != nil {
+		// Only reachable when a fault-injection alloc hook is active;
+		// hook-using tests must allocate through NewEnvLimited.
+		panic(err)
+	}
+	return e
+}
+
+// NewEnvLimited is NewEnv under a resource governor: every buffer
+// allocation is charged against lim.MaxBytes first, and an over-budget
+// kernel fails with ErrResourceExhausted before its memory is committed.
+func NewEnvLimited(k *kernel.Kernel, lim Limits) (*Env, error) {
+	e := &Env{Bufs: make([]*Buffer, len(k.Bufs)), lim: lim}
 	for i, d := range k.Bufs {
 		if d.Input {
 			continue
+		}
+		bytes := int64(d.Size) * 8
+		if d.Valid {
+			bytes += int64(d.Size)
+		}
+		if err := e.Charge(bytes); err != nil {
+			return nil, fmt.Errorf("exec: buffer %q: %w", d.Name, err)
 		}
 		b := &Buffer{Kind: d.Kind}
 		if d.Kind == vector.Int {
@@ -94,15 +185,38 @@ func NewEnv(k *kernel.Kernel) *Env {
 		}
 		e.Bufs[i] = b
 	}
-	return e
+	return e, nil
+}
+
+// Limits returns the governor limits the environment was created with.
+func (e *Env) Limits() Limits { return e.lim }
+
+// Charge accounts bytes of query-local allocation against the
+// environment's budget, failing with ErrResourceExhausted once the
+// MaxBytes limit is crossed. Steps that allocate buffers at runtime (bulk
+// steps) must charge before committing the allocation. Not safe for
+// concurrent use; all allocation happens on the plan goroutine.
+func (e *Env) Charge(bytes int64) error {
+	if err := faultinject.Alloc(bytes); err != nil {
+		return err
+	}
+	e.allocated += bytes
+	if e.lim.MaxBytes > 0 && e.allocated > e.lim.MaxBytes {
+		return fmt.Errorf("exec: query needs %d buffer bytes, budget is %d: %w",
+			e.allocated, e.lim.MaxBytes, ErrResourceExhausted)
+	}
+	return nil
 }
 
 // Bind attaches buf to the declaration named name and returns an error if
-// no such input exists or the size disagrees.
+// no such input exists or the size or kind disagrees.
 func (e *Env) Bind(k *kernel.Kernel, name string, buf *Buffer) error {
 	for i, d := range k.Bufs {
 		if d.Name != name {
 			continue
+		}
+		if buf.Kind != d.Kind {
+			return fmt.Errorf("exec: buffer %q is %v, declaration wants %v", name, buf.Kind, d.Kind)
 		}
 		if buf.Len() != d.Size {
 			return fmt.Errorf("exec: buffer %q has %d slots, declaration wants %d", name, buf.Len(), d.Size)
@@ -183,6 +297,20 @@ func (fs *FragStats) merge(o *FragStats) {
 // goroutines (0 = GOMAXPROCS). When st is non-nil, event counts are
 // accumulated into it.
 func Run(k *kernel.Kernel, env *Env, workers int, st *Stats) error {
+	return RunContext(context.Background(), k, env, workers, st)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// at every fragment boundary and every checkInterval work items inside
+// fragment loops, so a cancelled or deadline-expired query aborts
+// promptly instead of finishing all chunks. A non-zero env Deadline limit
+// is enforced as a context deadline.
+func RunContext(ctx context.Context, k *kernel.Kernel, env *Env, workers int, st *Stats) error {
+	if d := env.lim.Deadline; !d.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, d)
+		defer cancel()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -197,7 +325,10 @@ func Run(k *kernel.Kernel, env *Env, workers int, st *Stats) error {
 			})
 			fs = &st.Frags[len(st.Frags)-1]
 		}
-		if err := RunFragment(f, env, workers, fs); err != nil {
+		if err := RunFragmentContext(ctx, f, env, workers, fs); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
 			return fmt.Errorf("exec: fragment %s: %w", f.Name, err)
 		}
 	}
@@ -208,13 +339,34 @@ func Run(k *kernel.Kernel, env *Env, workers int, st *Stats) error {
 // counts into fs when non-nil. Used by Run and by the compiled plans, which
 // interleave fragments with bulk steps.
 func RunFragment(f *kernel.Fragment, env *Env, workers int, fs *FragStats) error {
+	return RunFragmentContext(context.Background(), f, env, workers, fs)
+}
+
+// RunFragmentContext is RunFragment with cancellation, panic isolation
+// and extent limiting. A panic in a worker goroutine is recovered into a
+// *PanicError instead of killing the process, and once one worker fails —
+// by error, panic or cancellation — the remaining workers stop at their
+// next checkpoint and no further chunk goroutines launch.
+func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, workers int, fs *FragStats) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if env.lim.MaxExtent > 0 && f.Extent > env.lim.MaxExtent {
+		return fmt.Errorf("exec: fragment %s extent %d exceeds MaxExtent %d: %w",
+			f.Name, f.Extent, env.lim.MaxExtent, ErrResourceExhausted)
+	}
+	if faultinject.Enabled() {
+		if err := protect(f.Name, func() error { faultinject.FragmentStart(f.Name); return nil }); err != nil {
+			return err
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	nregs := maxReg(f) + 1
 	if f.Sequential() || workers == 1 {
-		w := newWorker(f, env, nregs, fs != nil)
-		if err := w.run(0, max(f.Extent, 1)); err != nil {
+		w := newWorker(ctx, f, env, nregs, fs != nil, nil)
+		if err := protect(f.Name, func() error { return w.run(0, max(f.Extent, 1)) }); err != nil {
 			return err
 		}
 		if fs != nil {
@@ -223,20 +375,27 @@ func RunFragment(f *kernel.Fragment, env *Env, workers int, fs *FragStats) error
 		return nil
 	}
 	chunk := (f.Extent + workers - 1) / workers
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 	for lo := 0; lo < f.Extent; lo += chunk {
+		if stop.Load() {
+			break
+		}
 		hi := min(lo+chunk, f.Extent)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			w := newWorker(f, env, nregs, fs != nil)
-			err := w.run(lo, hi)
+			w := newWorker(ctx, f, env, nregs, fs != nil, &stop)
+			err := protect(f.Name, func() error { return w.run(lo, hi) })
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				stop.Store(true)
+				if firstErr == nil && err != errAborted {
+					firstErr = err
+				}
 			}
 			if fs != nil {
 				fs.merge(&w.stats)
@@ -267,6 +426,12 @@ func maxReg(f *kernel.Fragment) kernel.Reg {
 	return m
 }
 
+// checkInterval is how many work items a worker executes between
+// cooperative checkpoints (context cancellation, sibling-failure abort,
+// fault-injection hooks). Items are nanosecond-scale, so 1024 items keeps
+// cancellation latency in the microseconds while amortizing the check.
+const checkInterval = 1024
+
 // worker executes a contiguous range of work items of one fragment.
 type worker struct {
 	f     *kernel.Fragment
@@ -277,6 +442,12 @@ type worker struct {
 	locF  []float64
 	count bool
 	stats FragStats
+	// checks gates the checkpoint machinery: false means the fast path
+	// pays a single predictable branch per item and nothing else.
+	checks bool
+	ctx    context.Context // nil when the context can never be cancelled
+	stop   *atomic.Bool    // shared abort flag of the parallel run, or nil
+	budget int             // items until the next checkpoint
 	// lines remembers the last few cache lines touched per buffer (a tiny
 	// LRU), so hot-line accesses — repeated slots, sequential gathers,
 	// colocated row fields — are told from far random ones.
@@ -317,9 +488,17 @@ func (r *lineRing) touch(line int64) int {
 	return kind
 }
 
-func newWorker(f *kernel.Fragment, env *Env, nregs kernel.Reg, count bool) *worker {
+func newWorker(ctx context.Context, f *kernel.Fragment, env *Env, nregs kernel.Reg, count bool, stop *atomic.Bool) *worker {
 	w := &worker{f: f, env: env,
-		ri: make([]int64, nregs), rf: make([]float64, nregs), count: count}
+		ri: make([]int64, nregs), rf: make([]float64, nregs), count: count,
+		stop: stop}
+	if ctx.Done() != nil {
+		w.ctx = ctx
+	}
+	w.checks = w.ctx != nil || stop != nil || faultinject.Enabled()
+	// The first item checkpoints immediately, so an already-cancelled
+	// context aborts before any work happens.
+	w.budget = 1
 	if f.Locals > 0 {
 		if f.LocalsFloat {
 			w.locF = make([]float64, f.Locals)
@@ -328,6 +507,26 @@ func newWorker(f *kernel.Fragment, env *Env, nregs kernel.Reg, count bool) *work
 		}
 	}
 	return w
+}
+
+// tick counts down to the next checkpoint; called once per work item when
+// checks are enabled.
+func (w *worker) tick(gid int) error {
+	w.budget--
+	if w.budget > 0 {
+		return nil
+	}
+	w.budget = checkInterval
+	if w.stop != nil && w.stop.Load() {
+		return errAborted
+	}
+	if w.ctx != nil {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	faultinject.Item(w.f.Name, gid)
+	return nil
 }
 
 func (w *worker) resetLocals() {
@@ -342,6 +541,11 @@ func (w *worker) resetLocals() {
 func (w *worker) run(lo, hi int) error {
 	f := w.f
 	for gid := lo; gid < hi; gid++ {
+		if w.checks {
+			if err := w.tick(gid); err != nil {
+				return err
+			}
+		}
 		w.ri[kernel.RegGID] = int64(gid)
 		if f.Locals > 0 {
 			w.resetLocals()
@@ -371,6 +575,11 @@ func (w *worker) run(lo, hi int) error {
 					break
 				}
 				w.ri[kernel.RegIdx] = int64(idx)
+				if w.checks {
+					if err := w.tick(gid); err != nil {
+						return err
+					}
+				}
 				if err := w.exec(loop.Body); err != nil {
 					return err
 				}

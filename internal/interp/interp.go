@@ -6,10 +6,13 @@
 package interp
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 
 	"voodoo/internal/core"
+	"voodoo/internal/exec"
 	"voodoo/internal/vector"
 )
 
@@ -56,20 +59,38 @@ func errf(format string, args ...any) {
 
 // Run evaluates the program against st and returns every statement's value.
 func Run(p *core.Program, st Storage) (res *Result, err error) {
+	return RunContext(context.Background(), p, st)
+}
+
+// RunContext is Run with cooperative cancellation, checked at every
+// statement boundary (the interpreter materializes per statement, so
+// statements are its natural unit of work). Any panic escaping a
+// statement's evaluation — a malformed program tripping an internal
+// invariant — is recovered into a *exec.PanicError naming the statement,
+// so a bad program fails its query instead of the process.
+func RunContext(ctx context.Context, p *core.Program, st Storage) (res *Result, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	cur := -1
 	defer func() {
 		if r := recover(); r != nil {
 			if e, ok := r.(evalErr); ok {
 				res, err = nil, e.err
 				return
 			}
-			panic(r)
+			res, err = nil, &exec.PanicError{
+				Fragment: fmt.Sprintf("interp stmt %d", cur),
+				Value:    r, Stack: debug.Stack(),
+			}
 		}
 	}()
 	e := &evaluator{st: st, vals: make([]*vector.Vector, len(p.Stmts))}
 	for i := range p.Stmts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cur = i
 		e.vals[i] = e.eval(&p.Stmts[i])
 	}
 	return &Result{Values: e.vals}, nil

@@ -1,6 +1,7 @@
 package rel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,6 +46,11 @@ type Engine struct {
 	Grain int
 	// CollectStats enables event counting for the device cost models.
 	CollectStats bool
+	// Limits is the per-query resource governor (memory budget, extent
+	// cap, deadline); the zero value imposes no limits. The memory and
+	// extent limits apply to the compiling backends; the deadline applies
+	// to every backend.
+	Limits exec.Limits
 }
 
 // Catalog implements Runner.
@@ -53,6 +59,15 @@ func (e *Engine) Catalog() *storage.Catalog { return e.Cat }
 // Run lowers, executes and assembles one query. Stats is nil unless
 // CollectStats is set and the backend is a compiling one.
 func (e *Engine) Run(q Query) (res *Result, stats *exec.Stats, err error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext is Run with cooperative cancellation and the engine's
+// resource governor: the context (and the Limits deadline, when set)
+// aborts execution at statement/fragment boundaries and inside fragment
+// loops, buffer allocations are charged against Limits.MaxBytes, and
+// panics below the engine surface as *exec.PanicError.
+func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *exec.Stats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if le, ok := r.(lowerErr); ok {
@@ -62,6 +77,12 @@ func (e *Engine) Run(q Query) (res *Result, stats *exec.Stats, err error) {
 			panic(r)
 		}
 	}()
+
+	if d := e.Limits.Deadline; !d.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, d)
+		defer cancel()
+	}
 
 	grain := e.Grain
 	if grain <= 0 {
@@ -77,7 +98,7 @@ func (e *Engine) Run(q Query) (res *Result, stats *exec.Stats, err error) {
 	values := map[core.Ref]*vector.Vector{}
 	switch e.Backend {
 	case Interpreted:
-		ires, ierr := interp.Run(prog, e.Cat)
+		ires, ierr := interp.RunContext(ctx, prog, e.Cat)
 		if ierr != nil {
 			return nil, nil, ierr
 		}
@@ -95,7 +116,8 @@ func (e *Engine) Run(q Query) (res *Result, stats *exec.Stats, err error) {
 			return nil, nil, cerr
 		}
 		plan.CollectStats = e.CollectStats
-		pres, rerr := plan.Run()
+		plan.Limits = e.Limits
+		pres, rerr := plan.RunContext(ctx)
 		if rerr != nil {
 			return nil, nil, rerr
 		}

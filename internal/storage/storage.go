@@ -180,6 +180,10 @@ func (t *Table) setLen(n int, col string) {
 		return
 	}
 	if n != t.N {
+		// Invariant violation: the Add* builder API is only called with
+		// equal-length columns by construction (generators, tests, and
+		// LoadTable, which reads every column at the header's row count).
+		// A mismatch is a programming error, not an input error.
 		panic(fmt.Sprintf("storage: column %q has %d rows, table %q has %d", col, n, t.Name, t.N))
 	}
 }
@@ -364,6 +368,16 @@ func LoadTable(path string) (*Table, error) {
 	if err := binary.Read(r, binary.LittleEndian, &ncols); err != nil {
 		return nil, err
 	}
+	// A corrupt or hostile header must not drive allocation: every row
+	// costs at least 8 bytes per column in the file, so bound the claimed
+	// shape by the actual file size before allocating anything.
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || ncols <= 0 || ncols > 1<<16 || n > fi.Size()/8+1 {
+		return nil, fmt.Errorf("implausible table shape: %d rows x %d columns in a %d-byte file", n, ncols, fi.Size())
+	}
 	t := NewTable(name)
 	for i := int64(0); i < ncols; i++ {
 		cname, err := readString(r)
@@ -377,6 +391,9 @@ func LoadTable(path string) (*Table, error) {
 		var dictLen int64
 		if err := binary.Read(r, binary.LittleEndian, &dictLen); err != nil {
 			return nil, err
+		}
+		if dictLen < 0 || dictLen > fi.Size() {
+			return nil, fmt.Errorf("implausible dictionary length %d for column %q", dictLen, cname)
 		}
 		dict := make([]string, dictLen)
 		for j := range dict {

@@ -29,7 +29,9 @@ import (
 // Epoch is day zero: 1992-01-01.
 var epoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
 
-// Date converts "YYYY-MM-DD" into days since 1992-01-01.
+// Date converts "YYYY-MM-DD" into days since 1992-01-01. It panics on a
+// malformed date: callers pass the TPC-H spec's literal date constants,
+// so a parse failure is an invariant violation, not an input error.
 func Date(s string) int64 {
 	t, err := time.Parse("2006-01-02", s)
 	if err != nil {

@@ -16,6 +16,17 @@
 // declaratively control the parallelism of fold operations (paper §2.2,
 // "Controlled Folding") and so that backends can derive loop structure from
 // the metadata instead of data (paper §3.1, "Maintaining Run Metadata").
+//
+// # Error handling
+//
+// Accessors in this package panic on misuse (wrong-kind access, unknown
+// attribute, out-of-range slice): these are internal invariant violations
+// — the callers are the interpreter and compiler, which type-check
+// operands before touching columns — not conditions reachable from user
+// input. Query execution layers (interp.RunContext, compile
+// Plan.RunContext, exec workers) recover such panics into
+// *exec.PanicError, so a latent bug here fails one query, not the
+// process.
 package vector
 
 import (
