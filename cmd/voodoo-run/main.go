@@ -6,17 +6,23 @@
 // Usage:
 //
 //	voodoo-run [-sf SF] [-data DIR] [-backend compiled|interp|bulk]
-//	           [-predicate] [-show-kernel] [-show-opencl] [-q N] 'SELECT ...'
+//	           [-predicate] [-show-kernel] [-show-opencl]
+//	           [-explain] [-explain-analyze] [-trace out.json]
+//	           [-q N] 'SELECT ...'
 //
 // Examples:
 //
 //	voodoo-run 'SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag'
 //	voodoo-run -q 6                # run TPC-H query 6
+//	voodoo-run -explain 'SELECT SUM(l_extendedprice) AS rev FROM lineitem WHERE l_quantity < 24'
+//	voodoo-run -explain-analyze -q 6
+//	voodoo-run -trace q6.json -q 6
 //	voodoo-run -show-opencl 'SELECT SUM(l_extendedprice*l_discount) AS rev FROM lineitem WHERE l_quantity < 24'
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +38,7 @@ import (
 	"voodoo/internal/sql"
 	"voodoo/internal/storage"
 	"voodoo/internal/tpch"
+	"voodoo/internal/trace"
 )
 
 func main() {
@@ -45,6 +52,9 @@ func main() {
 	progFile := flag.String("prog", "", "run a textual Voodoo program (paper SSA notation) from this file")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (e.g. 500ms; 0 = unlimited)")
 	maxMem := flag.String("max-mem", "", "per-query buffer allocation budget (e.g. 64m, 1g; empty = unlimited)")
+	explain := flag.Bool("explain", false, "print the static execution plan (TPC-H -q queries still execute, to drive multi-phase lowering)")
+	analyze := flag.Bool("explain-analyze", false, "run the query and print the plan with measured per-step times, items and bytes")
+	traceOut := flag.String("trace", "", "run the query and write its execution trace as JSON to this file")
 	flag.Parse()
 
 	var limits exec.Limits
@@ -106,15 +116,32 @@ func main() {
 			fmt.Println("-- generated OpenCL C:")
 			fmt.Println(opencl.Generate(plan.Kernel()))
 		}
+		if *explain {
+			fmt.Print(plan.Explain())
+			return
+		}
 		plan.Limits = limits
 		start := time.Now()
-		res, err := plan.RunContext(ctx)
-		if err != nil {
+		var res *compile.Result
+		if *analyze || *traceOut != "" {
+			var tr *trace.Trace
+			res, tr, err = plan.RunTracedContext(ctx)
+			if err != nil {
+				fatal(err)
+			}
+			tr.Query = *progFile
+			if *analyze {
+				fmt.Print(tr.String())
+			}
+			writeTraces(*traceOut, []*trace.Trace{tr})
+		} else if res, err = plan.RunContext(ctx); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("-- %d root value(s) (%.1f ms wall)\n", len(res.Values), msSince(start))
-		for ref, v := range res.Values {
-			fmt.Printf("%s =\n%s", prog.Stmts[ref].Label, v)
+		if !*analyze {
+			fmt.Printf("-- %d root value(s) (%.1f ms wall)\n", len(res.Values), msSince(start))
+			for ref, v := range res.Values {
+				fmt.Printf("%s =\n%s", prog.Stmts[ref].Label, v)
+			}
 		}
 		return
 	}
@@ -124,12 +151,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *explain {
+			e.PlanSink = func(p *compile.Plan) { fmt.Print(p.Explain()) }
+		}
+		var traces []*trace.Trace
+		if *analyze || *traceOut != "" {
+			e.TraceSink = func(t *trace.Trace) {
+				t.Query = fmt.Sprintf("TPC-H Q%d", *qnum)
+				traces = append(traces, t)
+			}
+		}
 		start := time.Now()
 		res, _, err := qf(e)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("-- TPC-H Q%d (%.1f ms wall)\n%s", *qnum, msSince(start), res)
+		if *analyze {
+			for _, t := range traces {
+				fmt.Print(t.String())
+			}
+		}
+		writeTraces(*traceOut, traces)
+		if !*analyze && !*explain {
+			fmt.Printf("-- TPC-H Q%d (%.1f ms wall)\n%s", *qnum, msSince(start), res)
+		}
 		return
 	}
 
@@ -166,12 +211,68 @@ func main() {
 		}
 	}
 
+	q.Name = src
+	if *explain {
+		prog, err := rel.Lower(q, cat)
+		if err != nil {
+			fatal(err)
+		}
+		if e.Backend == rel.Interpreted {
+			fmt.Println("-- interpreted backend: one bulk step per statement")
+			fmt.Print(prog)
+		} else {
+			plan, err := e.Plan(prog)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(plan.Explain())
+		}
+		return
+	}
+
 	start := time.Now()
-	res, _, err := e.RunContext(ctx, q)
-	if err != nil {
+	var res *rel.Result
+	if *analyze || *traceOut != "" {
+		var traces []*trace.Trace
+		res, traces, err = e.RunTraced(ctx, q)
+		if err != nil {
+			fatal(err)
+		}
+		if *analyze {
+			for _, t := range traces {
+				fmt.Print(t.String())
+			}
+		}
+		writeTraces(*traceOut, traces)
+		if *analyze {
+			return
+		}
+	} else if res, _, err = e.RunContext(ctx, q); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("-- %d rows (%.1f ms wall)\n%s", len(res.Rows), msSince(start), renderDecoded(res))
+}
+
+// writeTraces writes the collected traces as JSON: one object for a single
+// trace, an array for multi-phase queries.
+func writeTraces(path string, traces []*trace.Trace) {
+	if path == "" || len(traces) == 0 {
+		return
+	}
+	var data []byte
+	var err error
+	if len(traces) == 1 {
+		data, err = traces[0].JSON()
+	} else {
+		data, err = json.MarshalIndent(traces, "", "  ")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "voodoo-run: wrote trace to %s\n", path)
 }
 
 // lowerForDisplay exposes the Voodoo program of a query via the engine's

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CIConfig is the fixed configuration of the CI bench smoke. It is
+// deliberately small — the smoke guards the cost-model outputs and the
+// plan shapes, not absolute hardware speed, and the simulated times are
+// deterministic at any size — and deliberately constant: a baseline is
+// only comparable to a run of the same configuration.
+var CIConfig = Config{N: 1 << 14, SF: 0.005, Seed: 42}
+
+// CIReport is the artifact of one CI smoke run (BENCH_ci.json): the
+// configuration it ran at and, per benchmark series, the median simulated
+// time in seconds. Times come from the device cost models, so on a given
+// source tree the report is bit-deterministic; a diff against the
+// committed baseline means a code change moved a figure.
+type CIReport struct {
+	N       int                `json:"n"`
+	SF      float64            `json:"sf"`
+	Seed    int64              `json:"seed"`
+	Medians map[string]float64 `json:"medians"`
+}
+
+// CISmoke runs the short benchmark subset: the selection study (Figure
+// 1), TPC-H on the CPU model (Figure 13), selective aggregation (Figure
+// 15), the FK join (Figure 16), and the design-choice ablations.
+func CISmoke() (*CIReport, error) {
+	cfg := CIConfig
+	rep := &CIReport{N: cfg.N, SF: cfg.SF, Seed: cfg.Seed, Medians: map[string]float64{}}
+
+	f1, err := Fig1(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	rep.addFigure(f1)
+
+	f13, err := Fig13(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
+	for _, e := range f13.Engines {
+		var ts []float64
+		for _, r := range f13.Rows {
+			if v, ok := r.Times[e]; ok {
+				ts = append(ts, v/1000) // ms → s, like every other metric
+			}
+		}
+		rep.Medians["fig13/"+e] = median(ts)
+	}
+
+	f15, err := Fig15(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig15: %w", err)
+	}
+	f16, err := Fig16(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig16: %w", err)
+	}
+	for _, key := range []string{"fig15b", "fig15c"} {
+		rep.addFigure(f15[key])
+	}
+	for _, key := range []string{"fig16b", "fig16c"} {
+		rep.addFigure(f16[key])
+	}
+
+	as, err := Ablations(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ablations: %w", err)
+	}
+	for _, a := range as {
+		rep.Medians["ablation/"+a.Name+"/on"] = a.OnTime
+		rep.Medians["ablation/"+a.Name+"/off"] = a.OffTime
+	}
+	return rep, nil
+}
+
+func (r *CIReport) addFigure(f *Figure) {
+	for _, s := range f.Series {
+		ts := make([]float64, len(s.Points))
+		for i, p := range s.Points {
+			ts[i] = p.T
+		}
+		r.Medians[f.Name+"/"+s.Name] = median(ts)
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// CompareCI checks a smoke run against the committed baseline and returns
+// one violation string per benchmark whose median regressed by more than
+// tol (fractional, e.g. 0.25). Improvements never fail — they show up
+// when the baseline is refreshed. Sub-microsecond medians are skipped:
+// at that scale a single cache-line crossing is a large fraction.
+func CompareCI(cur, base *CIReport, tol float64) []string {
+	var out []string
+	if cur.N != base.N || cur.SF != base.SF || cur.Seed != base.Seed {
+		return []string{fmt.Sprintf(
+			"configuration mismatch: run N=%d SF=%g seed=%d, baseline N=%d SF=%g seed=%d — regenerate the baseline",
+			cur.N, cur.SF, cur.Seed, base.N, base.SF, base.Seed)}
+	}
+	names := make([]string, 0, len(base.Medians))
+	for name := range base.Medians {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bv := base.Medians[name]
+		cv, ok := cur.Medians[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline, missing from this run", name))
+			continue
+		}
+		if bv < 1e-6 {
+			continue
+		}
+		if cv > bv*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: %.6fs → %.6fs (%+.0f%%, tolerance %.0f%%)",
+				name, bv, cv, 100*(cv-bv)/bv, 100*tol))
+		}
+	}
+	return out
+}

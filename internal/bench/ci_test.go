@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompareCI(t *testing.T) {
+	base := &CIReport{N: 16384, SF: 0.005, Seed: 42, Medians: map[string]float64{
+		"a": 0.001, "b": 0.002, "tiny": 1e-8, "gone": 0.003,
+	}}
+
+	// Identical run: clean.
+	if v := CompareCI(base, base, 0.25); len(v) != 0 {
+		t.Fatalf("self-comparison reports violations: %v", v)
+	}
+
+	cur := &CIReport{N: 16384, SF: 0.005, Seed: 42, Medians: map[string]float64{
+		"a": 0.00126, // +26%: regression
+		"b": 0.0024,  // +20%: within tolerance
+		"tiny": 1,    // huge relative jump, but below the floor in the baseline
+	}}
+	v := CompareCI(cur, base, 0.25)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations (a regressed, gone missing), got %d: %v", len(v), v)
+	}
+	if !strings.HasPrefix(v[0], "a:") || !strings.HasPrefix(v[1], "gone:") {
+		t.Errorf("unexpected violations: %v", v)
+	}
+
+	// An improvement never fails.
+	fast := &CIReport{N: 16384, SF: 0.005, Seed: 42, Medians: map[string]float64{
+		"a": 0.0001, "b": 0.0001, "tiny": 1e-9, "gone": 0.0001,
+	}}
+	if v := CompareCI(fast, base, 0.25); len(v) != 0 {
+		t.Errorf("improvement reported as violation: %v", v)
+	}
+
+	// A configuration mismatch is a single hard violation.
+	other := &CIReport{N: 32768, SF: 0.005, Seed: 42, Medians: base.Medians}
+	if v := CompareCI(other, base, 0.25); len(v) != 1 || !strings.Contains(v[0], "configuration mismatch") {
+		t.Errorf("want configuration-mismatch violation, got %v", v)
+	}
+}
+
+// TestCISmokeDeterministic pins the CI gate's premise: on one source
+// tree, two smoke runs produce bit-identical medians (times are priced by
+// the cost models, not measured), so any baseline diff is a code change.
+func TestCISmokeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full smoke twice")
+	}
+	a, err := CISmoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CISmoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Medians) == 0 {
+		t.Fatal("smoke produced no medians")
+	}
+	if v := CompareCI(b, a, 0); len(v) != 0 {
+		t.Fatalf("smoke is nondeterministic: %v", v)
+	}
+	for name, av := range a.Medians {
+		if b.Medians[name] != av {
+			t.Errorf("%s: %g vs %g across runs", name, av, b.Medians[name])
+		}
+	}
+}

@@ -144,6 +144,7 @@ func (c *compiler) bufferizeWithCtrl(d *desc, ctrl foldCtrl) *desc {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("mat_%d", len(c.kern.Frags)),
 		Extent: extent, Intent: (d.n + extent - 1) / extent, N: d.n,
+		Prov:   kernel.Prov{Kind: "mat", Stmts: []int{c.cur}},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -181,6 +182,8 @@ func (c *compiler) spillSel(si *selInfo) *desc {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("sel_%d", len(c.kern.Frags)),
 		Extent: numRuns, Intent: ctrl.runLen, N: si.srcN,
+		Prov: kernel.Prov{Kind: "select", Stmts: []int{si.stmt},
+			Predicated: c.opt.Predication},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -222,6 +225,8 @@ func (c *compiler) spillFilt(fi *filtInfo) *desc {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("filt_%d", len(c.kern.Frags)),
 		Extent: numRuns, Intent: ctrl.runLen, N: fi.sel.srcN,
+		Prov: kernel.Prov{Kind: "filter", Stmts: []int{fi.sel.stmt, fi.stmt},
+			Predicated: c.opt.Predication},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -282,6 +287,7 @@ func (c *compiler) spillPartition(pi *partInfo) int {
 	posBuf := c.addBuf("part", vector.Int, pi.srcN, false, true)
 	c.plan.steps = append(c.plan.steps, &bulkStep{
 		name:    "partition",
+		stmts:   []int{pi.stmt},
 		inputs:  []converter{valsConv, pivConv},
 		outBufs: []int{posBuf},
 		attrs:   []string{"pos"},
@@ -291,7 +297,8 @@ func (c *compiler) spillPartition(pi *partInfo) int {
 		statsFn: func(args []*vector.Vector, out *vector.Vector) exec.FragStats {
 			n := int64(args[0].Len())
 			return exec.FragStats{Name: "partition", Extent: 1, Intent: args[0].Len(),
-				Sequential: true, Items: 2 * n, IntOps: 4 * n, SeqBytes: 4 * 8 * n}
+				Sequential: true, Items: 2 * n, IntOps: 4 * n, SeqBytes: 4 * 8 * n,
+				StoreBytes: 8 * n}
 		},
 	})
 	pi.spilled, pi.buf = true, posBuf
@@ -455,6 +462,7 @@ func (c *compiler) scatterFragment(src *desc, pos attr, n2 int, parallel bool) *
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("scatter_%d", len(c.kern.Frags)),
 		Extent: extent, Intent: (src.n + extent - 1) / extent, N: src.n,
+		Prov:   kernel.Prov{Kind: "scatter", Stmts: []int{c.cur}},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -527,6 +535,7 @@ func bulkStats(name string, random bool) func(args []*vector.Vector, out *vector
 		}
 		outBytes := int64(out.Len()) * int64(len(out.Names())) * 8
 		fs.SeqBytes += outBytes
+		fs.StoreBytes = outBytes
 		fs.Items = n
 		fs.IntOps = n
 		fs.Extent = out.Len()
@@ -562,6 +571,7 @@ func (c *compiler) bulk(s *core.Stmt) *desc {
 	random := s.Op == core.OpGather || s.Op == core.OpScatter || s.Op == core.OpPartition
 	c.plan.steps = append(c.plan.steps, &bulkStep{
 		name:    s.Op.String(),
+		stmts:   []int{int(s.ID)},
 		inputs:  inputs,
 		outBufs: outBufs,
 		attrs:   names,
@@ -581,9 +591,13 @@ type attrSchema struct {
 // bulkSchema statically infers the output schema and size of a statement —
 // Voodoo's determinism makes every size a compile-time constant.
 func (c *compiler) bulkSchema(s *core.Stmt) ([]attrSchema, int) {
-	argN := func(i int) int { return c.desc(s.Args[i]).logical() }
+	// Pending special forms (an undissolved Partition scatter, an
+	// unmaterialized fold-select) carry no resolvable attributes of their
+	// own; the bulk fallback consumes materialized operands, so resolve
+	// schemas against the plainified descriptors the converters will use.
+	argN := func(i int) int { return c.plainify(c.desc(s.Args[i])).logical() }
 	argSchema := func(i int, kp, out string) []attrSchema {
-		d := c.desc(s.Args[i])
+		d := c.plainify(c.desc(s.Args[i]))
 		names, idx, ok := d.resolve(kp)
 		if !ok {
 			cerrf("%s: cannot resolve keypath %q for bulk schema", s.Op, kp)

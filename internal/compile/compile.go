@@ -83,6 +83,9 @@ type compiler struct {
 	descs []*desc
 	plan  *Plan
 	nbuf  int
+	// cur is the SSA id of the statement being compiled, attributed to
+	// fragments and bulk steps as provenance for EXPLAIN and tracing.
+	cur int
 	// foldCache holds the results of fused multi-aggregate folds, keyed
 	// by fold statement id.
 	foldCache map[core.Ref]*desc
@@ -107,11 +110,13 @@ func (c *compiler) run() (err error) {
 	uses := c.prog.Uses()
 	for i := range c.prog.Stmts {
 		s := &c.prog.Stmts[i]
+		c.cur = i
 		c.descs[i] = c.compileStmt(s)
 	}
 	// Materialize roots so Plan.Run can hand back vectors.
 	for i := range c.prog.Stmts {
 		s := &c.prog.Stmts[i]
+		c.cur = i
 		if len(uses[i]) == 0 && s.Op != core.OpPersist {
 			c.plan.outputs = append(c.plan.outputs, output{
 				ref: core.Ref(i), conv: c.converter(c.descs[i]),
@@ -377,7 +382,7 @@ func (c *compiler) compileGather(s *core.Stmt) *desc {
 			attrs = append(attrs, na)
 		}
 		return &desc{n: posD.sel.srcN, logicalN: posD.sel.srcN,
-			filt: &filtInfo{sel: posD.sel, attrs: attrs}}
+			filt: &filtInfo{sel: posD.sel, attrs: attrs, stmt: c.cur}}
 	}
 
 	// Gather through a *filtered* gather (an indexed FK lookup on selected
@@ -400,7 +405,7 @@ func (c *compiler) compileGather(s *core.Stmt) *desc {
 					ex: &eLoad{buf: ld.buf, k: ld.k, idx: safe}, validEx: valid})
 			}
 			return &desc{n: posD.n, logicalN: posD.logical(),
-				filt: &filtInfo{sel: posD.filt.sel, attrs: attrs}}
+				filt: &filtInfo{sel: posD.filt.sel, attrs: attrs, stmt: c.cur}}
 		}
 	}
 
@@ -447,7 +452,7 @@ func (c *compiler) compilePartition(s *core.Stmt) *desc {
 	if !okP {
 		cerrf("Partition: pivot keypath %q does not name a single attribute", s.Kp[1])
 	}
-	pi := &partInfo{valEx: val.ex, srcN: d1.n, k: d2.logical() + 1}
+	pi := &partInfo{valEx: val.ex, srcN: d1.n, k: d2.logical() + 1, stmt: c.cur}
 	pi.pivots = c.converter(&desc{n: d2.n, attrs: []attr{{name: "p", ex: piv.ex, validEx: piv.validEx}}})
 	if m, ok := genMetaOf(val.ex); ok {
 		pi.meta = &m
@@ -493,7 +498,7 @@ func (c *compiler) compileScatter(s *core.Stmt) *desc {
 		// lowering if a fold consumes this (Figure 11); otherwise the
 		// plainify fallback materializes it.
 		return &desc{n: sizeD.logical(), logicalN: sizeD.logical(),
-			gpend: &groupPending{part: pi, src: src, n: sizeD.logical()}}
+			gpend: &groupPending{part: pi, src: src, n: sizeD.logical(), stmt: c.cur}}
 	}
 	return c.realScatter(s)
 }
@@ -535,6 +540,7 @@ type groupPending struct {
 	part *partInfo
 	src  *desc
 	n    int // output (scattered) size
+	stmt int // SSA id of the Scatter, for fragment provenance
 }
 
 // ctrlOf derives the fold-loop structure from a control attribute.

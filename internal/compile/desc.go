@@ -142,6 +142,7 @@ type selInfo struct {
 	srcN    int
 	ctrl    foldCtrl
 	outName string
+	stmt    int // SSA id of the FoldSelect, for fragment provenance
 }
 
 // filtInfo is an unmaterialized Gather through a FoldSelect: source
@@ -149,6 +150,7 @@ type selInfo struct {
 type filtInfo struct {
 	sel   *selInfo
 	attrs []attr // exprs over ePos
+	stmt  int    // SSA id of the Gather, for fragment provenance
 }
 
 // partInfo is the provenance of a Partition statement, kept symbolic so a
@@ -159,6 +161,7 @@ type partInfo struct {
 	srcN   int
 	k      int       // number of partitions (pivot count + 1)
 	pivots converter // produces the pivot vector when a bulk sort is needed
+	stmt   int       // SSA id of the Partition, for step provenance
 
 	// spill cache: set once the counting-sort positions materialize.
 	spilled bool

@@ -63,6 +63,24 @@ type foldSpec struct {
 	val  attr
 }
 
+// specStmts returns the SSA ids of the fused aggregates, for provenance.
+func specStmts(specs []foldSpec) []int {
+	ids := make([]int, len(specs))
+	for i, sp := range specs {
+		ids[i] = int(sp.stmt.ID)
+	}
+	return ids
+}
+
+// accStmts is specStmts over the emission-time accumulator states.
+func accStmts(accs []*accState) []int {
+	ids := make([]int, len(accs))
+	for i, st := range accs {
+		ids[i] = int(st.spec.stmt.ID)
+	}
+	return ids
+}
+
 // siblingFolds collects every aggregation fold over the same input and
 // control attribute as s (including s itself), so one fragment computes all
 // of them — one scan instead of one per aggregate, as the paper's compiler
@@ -115,7 +133,7 @@ func (c *compiler) compileFold(s *core.Stmt) *desc {
 		}
 		pred := selectedPred(sel)
 		return &desc{n: d.n, logicalN: d.logical(),
-			sel: &selInfo{pred: pred, srcN: d.n, ctrl: ctrl, outName: s.Out[0]}}
+			sel: &selInfo{pred: pred, srcN: d.n, ctrl: ctrl, outName: s.Out[0], stmt: c.cur}}
 	case core.OpFoldScan:
 		return c.plainScan(s, d, ctrl)
 	default:
@@ -256,6 +274,8 @@ func (c *compiler) multiFold(specs []foldSpec, numRuns, intent, n int, strided b
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("fold_%d", specs[0].stmt.ID),
 		Extent: numRuns, Intent: intent, N: n, Strided: strided,
+		Prov: kernel.Prov{Kind: "fold", Stmts: specStmts(specs),
+			Suppressed: numRuns < n, Virtual: strided},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -281,6 +301,7 @@ func (c *compiler) plainScan(s *core.Stmt, d *desc, ctrl foldCtrl) *desc {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("scan_%d", s.ID),
 		Extent: numRuns, Intent: ctrl.runLen, N: d.n,
+		Prov:   kernel.Prov{Kind: "scan", Stmts: []int{int(s.ID)}},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -366,6 +387,9 @@ func (c *compiler) fusedFilterFold(s *core.Stmt, d *desc) *desc {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("ffold_%d", s.ID),
 		Extent: numRuns, Intent: ctrl.runLen, N: srcN,
+		Prov: kernel.Prov{Kind: "filter-fold",
+			Stmts:      append([]int{fi.sel.stmt, fi.stmt}, specStmts(specs)...),
+			Suppressed: true, Predicated: c.opt.Predication},
 	}
 	var loop1 []kernel.Instr
 	em := newEmitter(&loop1)
@@ -451,6 +475,7 @@ func (c *compiler) reduceCompact(accs []*accState, numRuns, logicalN int) {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("reduce_%d", accs[0].spec.stmt.ID),
 		Extent: 1, Intent: numRuns, N: numRuns,
+		Prov:   kernel.Prov{Kind: "reduce", Stmts: accStmts(accs), Suppressed: true},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -509,8 +534,12 @@ func (c *compiler) groupedFold(s *core.Stmt, d *desc) *desc {
 	if s.Op == core.OpFoldSelect || s.Op == core.OpFoldScan {
 		return c.compileFoldOn(s, c.plainify(d))
 	}
+	// An empty fold keypath means one global run, never the per-partition
+	// run structure — without this guard, a source with a single attribute
+	// that happens to be the partition control would be mistaken for a
+	// partition-keyed grouped aggregation.
 	ctrlAttr, ok := gp.src.single(s.Kp[0])
-	if !ok || ctrlAttr.ex != gp.part.valEx {
+	if s.Kp[0] == "" || !ok || ctrlAttr.ex != gp.part.valEx {
 		return c.compileFoldOn(s, c.plainify(d))
 	}
 	specs := c.specsFor(c.siblingFolds(s), gp.src)
@@ -544,6 +573,9 @@ func (c *compiler) groupedFold(s *core.Stmt, d *desc) *desc {
 		Name:   fmt.Sprintf("gfold_%d", s.ID),
 		Extent: P, Intent: (srcN + P - 1) / P, N: srcN,
 		Locals: width, LocalsFloat: anyFloat, LocalsInit: 0,
+		Prov: kernel.Prov{Kind: "group-fold",
+			Stmts:   append([]int{gp.part.stmt, gp.stmt}, specStmts(specs)...),
+			Virtual: true},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -646,6 +678,7 @@ func (c *compiler) groupedFold(s *core.Stmt, d *desc) *desc {
 	rf := &kernel.Fragment{
 		Name:   fmt.Sprintf("greduce_%d", s.ID),
 		Extent: k, Intent: P,
+		Prov:   kernel.Prov{Kind: "group-reduce", Stmts: specStmts(specs), Virtual: true},
 	}
 	var rbody []kernel.Instr
 	rem := newEmitter(&rbody)

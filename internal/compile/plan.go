@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"voodoo/internal/core"
 	"voodoo/internal/exec"
 	"voodoo/internal/kernel"
+	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
 
@@ -101,6 +103,7 @@ func (s *fragStep) stepName() string { return "fragment " + s.f.Name }
 // net and the execution model of the Ocelot baseline.
 type bulkStep struct {
 	name    string
+	stmts   []int // SSA ids this step computes, for provenance
 	inputs  []converter
 	outBufs []int    // one per output attribute, in attrs order
 	attrs   []string // output attribute names
@@ -167,6 +170,31 @@ func (p *Plan) Run() (*Result, error) {
 // in any step is recovered into a *exec.PanicError so one bad kernel
 // fails its query instead of the process.
 func (p *Plan) RunContext(ctx context.Context) (*Result, error) {
+	res, _, err := p.run(ctx, nil)
+	return res, err
+}
+
+// RunTracedContext is RunContext with per-step tracing: each plan step is
+// timed and annotated with its fragment provenance and measured work
+// (items, materialized bytes, fold runs, scatter items). The returned
+// trace is owned by the caller; tracing forces stats collection for this
+// run regardless of CollectStats.
+func (p *Plan) RunTracedContext(ctx context.Context) (*Result, *trace.Trace, error) {
+	backend := "compiled"
+	if p.opt.ForceBulk {
+		backend = "bulk-compiled"
+	}
+	tr := &trace.Trace{Backend: backend, Options: map[string]bool{
+		"predication":     p.opt.Predication,
+		"forcebulk":       p.opt.ForceBulk,
+		"scatterparallel": p.opt.ScatterParallel,
+	}}
+	return p.run(ctx, tr)
+}
+
+func (p *Plan) run(ctx context.Context, tr *trace.Trace) (*Result, *trace.Trace, error) {
+	trace.CountQuery()
+	start := time.Now()
 	if d := p.Limits.Deadline; !d.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, d)
@@ -174,32 +202,112 @@ func (p *Plan) RunContext(ctx context.Context) (*Result, error) {
 	}
 	env, err := exec.NewEnvLimited(p.kern, p.Limits)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rt := &runtime{plan: p, ctx: ctx, env: env}
 	res := &Result{Values: map[core.Ref]*vector.Vector{}}
-	if p.CollectStats {
+	if p.CollectStats || tr != nil {
 		rt.stats = &res.Stats
 	}
 	for _, s := range p.steps {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		base := len(res.Stats.Frags)
+		t0 := time.Now()
 		if err := runStep(s, rt); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if tr != nil {
+			tr.Add(p.traceStep(s, res.Stats.Frags[base:], time.Since(t0)))
 		}
 	}
 	for _, o := range p.outputs {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		t0 := time.Now()
 		v, err := convertProtected(o, rt)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.Values[o.ref] = v
+		if tr != nil {
+			tr.Add(trace.Step{
+				Kind: trace.KindOutput, Name: fmt.Sprintf("v%d", o.ref),
+				Stmts: []int{int(o.ref)}, WallNS: time.Since(t0).Nanoseconds(),
+				Items:             int64(v.Len()),
+				MaterializedBytes: int64(v.Len()) * int64(len(v.Names())) * 8,
+			})
+		}
 	}
-	return res, nil
+	if tr != nil {
+		tr.AllocBytes = env.Allocated()
+		tr.Finish(time.Since(start))
+	}
+	return res, tr, nil
+}
+
+// traceStep converts one executed step plus the fragment stats it appended
+// into a trace record.
+func (p *Plan) traceStep(s step, frags []exec.FragStats, wall time.Duration) trace.Step {
+	ts := trace.Step{WallNS: wall.Nanoseconds()}
+	var fs *exec.FragStats
+	if len(frags) > 0 {
+		fs = &frags[0]
+	}
+	switch x := s.(type) {
+	case *bindStep:
+		ts.Kind, ts.Name = trace.KindBind, p.kern.Bufs[x.buf].Name
+	case *persistStep:
+		ts.Kind, ts.Name = trace.KindPersist, x.name
+	case *fragStep:
+		ts.Kind, ts.Name = trace.KindFragment, x.f.Name
+		pv := x.f.Prov
+		ts.Stmts, ts.Fused = pv.Stmts, len(pv.Stmts) > 1
+		ts.Suppressed, ts.Virtual, ts.Predicated = pv.Suppressed, pv.Virtual, pv.Predicated
+		ts.Extent, ts.Intent, ts.N, ts.Strided = x.f.Extent, x.f.Intent, x.f.N, x.f.Strided
+		if fs != nil {
+			if fs.Wall > 0 {
+				ts.WallNS = fs.Wall.Nanoseconds()
+			}
+			ts.Workers = fs.Workers
+			ts.Items = fs.Items
+			ts.MaterializedBytes = fs.StoreBytes
+			ts.IntOps, ts.FloatOps = fs.IntOps, fs.FloatOps
+			ts.SeqBytes, ts.RandAccesses = fs.SeqBytes, fs.RandAccesses
+		}
+		switch pv.Kind {
+		case "fold", "filter-fold", "scan", "group-reduce":
+			// One aggregation run per work item.
+			ts.FoldRuns = int64(x.f.Extent)
+		case "scatter":
+			if fs != nil {
+				ts.ScatterItems = fs.Items
+			}
+		}
+	case *bulkStep:
+		ts.Kind, ts.Name = trace.KindBulk, x.name
+		ts.Stmts = x.stmts
+		if fs != nil {
+			ts.Items = fs.Items
+			ts.MaterializedBytes = fs.StoreBytes
+			ts.AllocBytes = fs.StoreBytes
+			ts.IntOps, ts.FloatOps = fs.IntOps, fs.FloatOps
+			ts.SeqBytes, ts.RandAccesses = fs.SeqBytes, fs.RandAccesses
+			if x.name == core.OpScatter.String() {
+				ts.ScatterItems = fs.Items
+			}
+			if x.name == core.OpFoldSum.String() || x.name == core.OpFoldMin.String() ||
+				x.name == core.OpFoldMax.String() || x.name == core.OpFoldSelect.String() ||
+				x.name == core.OpFoldScan.String() {
+				ts.FoldRuns = 1
+			}
+		}
+	default:
+		ts.Kind, ts.Name = "step", s.stepName()
+	}
+	return ts
 }
 
 // runStep executes one plan step with panic isolation: a panic inside the

@@ -21,6 +21,7 @@ import (
 
 	"voodoo/internal/faultinject"
 	"voodoo/internal/kernel"
+	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
 
@@ -191,6 +192,10 @@ func NewEnvLimited(k *kernel.Kernel, lim Limits) (*Env, error) {
 // Limits returns the governor limits the environment was created with.
 func (e *Env) Limits() Limits { return e.lim }
 
+// Allocated returns the total buffer bytes charged against this
+// environment so far (static kernel buffers plus runtime bulk outputs).
+func (e *Env) Allocated() int64 { return e.allocated }
+
 // Charge accounts bytes of query-local allocation against the
 // environment's budget, failing with ErrResourceExhausted once the
 // MaxBytes limit is crossed. Steps that allocate buffers at runtime (bulk
@@ -240,7 +245,17 @@ type FragStats struct {
 	Intent     int
 	Sequential bool
 
-	Items        int64 // loop iterations executed
+	// Wall is the fragment's measured wall-clock time; Workers is the
+	// number of worker goroutines that executed it. Both are set by
+	// RunFragmentContext (not merged from workers).
+	Wall    time.Duration
+	Workers int
+
+	Items int64 // loop iterations executed
+	// StoreBytes counts bytes written to global buffers — the
+	// materialization at this fragment's seam (8 per scalar store plus a
+	// validity byte when the buffer carries a mask).
+	StoreBytes   int64
 	IntOps       int64
 	FloatOps     int64
 	SeqBytes     int64 // coalesced loads+stores
@@ -272,6 +287,7 @@ type RandCount struct {
 
 func (fs *FragStats) merge(o *FragStats) {
 	fs.Items += o.Items
+	fs.StoreBytes += o.StoreBytes
 	fs.IntOps += o.IntOps
 	fs.FloatOps += o.FloatOps
 	fs.SeqBytes += o.SeqBytes
@@ -351,6 +367,11 @@ func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, worke
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	trace.CountFragment()
+	if fs != nil {
+		start := time.Now()
+		defer func() { fs.Wall = time.Since(start) }()
+	}
 	if env.lim.MaxExtent > 0 && f.Extent > env.lim.MaxExtent {
 		return fmt.Errorf("exec: fragment %s extent %d exceeds MaxExtent %d: %w",
 			f.Name, f.Extent, env.lim.MaxExtent, ErrResourceExhausted)
@@ -370,11 +391,15 @@ func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, worke
 			return err
 		}
 		if fs != nil {
+			fs.Workers = 1
 			fs.merge(&w.stats)
 		}
 		return nil
 	}
 	chunk := (f.Extent + workers - 1) / workers
+	if fs != nil {
+		fs.Workers = (f.Extent + chunk - 1) / chunk
+	}
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -758,6 +783,13 @@ func (w *worker) exec(instrs []kernel.Instr) error {
 func (w *worker) countAccess(in kernel.Instr, buf *Buffer) {
 	if !w.count {
 		return
+	}
+	if in.Op == kernel.IStore {
+		// Bytes materialized at this fragment's seam.
+		w.stats.StoreBytes += 8
+		if buf.Valid != nil {
+			w.stats.StoreBytes++
+		}
 	}
 	// Validity masks are byte-sized; a validity probe against a buffer
 	// with no mask is just a bounds check — pure arithmetic the paper's

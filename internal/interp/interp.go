@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+	"time"
 
 	"voodoo/internal/core"
 	"voodoo/internal/exec"
+	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
 
@@ -69,9 +71,25 @@ func Run(p *core.Program, st Storage) (res *Result, err error) {
 // invariant — is recovered into a *exec.PanicError naming the statement,
 // so a bad program fails its query instead of the process.
 func RunContext(ctx context.Context, p *core.Program, st Storage) (res *Result, err error) {
+	res, _, err = runContext(ctx, p, st, nil)
+	return res, err
+}
+
+// RunTracedContext is RunContext with per-statement tracing: every
+// statement becomes one trace step carrying its wall time, output length,
+// and materialized bytes — the bulk-processing profile the compiling
+// backend's fused fragments are measured against. The returned trace is
+// owned by the caller.
+func RunTracedContext(ctx context.Context, p *core.Program, st Storage) (*Result, *trace.Trace, error) {
+	return runContext(ctx, p, st, &trace.Trace{Backend: "interpreted"})
+}
+
+func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trace) (res *Result, _ *trace.Trace, err error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	trace.CountQuery()
+	start := time.Now()
 	cur := -1
 	defer func() {
 		if r := recover(); r != nil {
@@ -88,12 +106,83 @@ func RunContext(ctx context.Context, p *core.Program, st Storage) (res *Result, 
 	e := &evaluator{st: st, vals: make([]*vector.Vector, len(p.Stmts))}
 	for i := range p.Stmts {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cur = i
+		t0 := time.Now()
 		e.vals[i] = e.eval(&p.Stmts[i])
+		if tr != nil {
+			tr.Add(traceStmt(&p.Stmts[i], e.vals[i], time.Since(t0)))
+		}
 	}
-	return &Result{Values: e.vals}, nil
+	if tr != nil {
+		var alloc int64
+		for _, v := range e.vals {
+			alloc += vecBytes(v)
+		}
+		tr.AllocBytes = alloc
+		tr.Finish(time.Since(start))
+	}
+	return &Result{Values: e.vals}, tr, nil
+}
+
+// traceStmt builds the trace record of one interpreted statement. The
+// interpreter materializes every output in full, so each statement's
+// materialized bytes are simply its output size — the bulk cost the
+// compiler's fusion avoids.
+func traceStmt(s *core.Stmt, out *vector.Vector, wall time.Duration) trace.Step {
+	ts := trace.Step{
+		Kind: trace.KindStmt, Name: s.Op.String(),
+		Stmts: []int{int(s.ID)}, WallNS: wall.Nanoseconds(),
+	}
+	if out != nil {
+		ts.Items = int64(out.Len())
+		ts.MaterializedBytes = vecBytes(out)
+		ts.AllocBytes = ts.MaterializedBytes
+	}
+	switch s.Op {
+	case core.OpFoldSum, core.OpFoldMin, core.OpFoldMax, core.OpFoldSelect, core.OpFoldScan:
+		ts.FoldRuns = countRuns(out)
+	case core.OpScatter:
+		ts.ScatterItems = ts.Items
+	}
+	return ts
+}
+
+// vecBytes is the materialized size of a vector: 8 bytes per scalar plus a
+// validity byte per slot for columns that carry ε.
+func vecBytes(v *vector.Vector) int64 {
+	if v == nil {
+		return 0
+	}
+	var b int64
+	for _, name := range v.Names() {
+		b += int64(v.Len()) * 8
+		if c := v.Col(name); c != nil && !c.AllValid() {
+			b += int64(v.Len())
+		}
+	}
+	return b
+}
+
+// countRuns counts the non-ε slots of a fold output — one per produced
+// run, since the interpreter writes each run's aggregate at the run start
+// and leaves the rest ε.
+func countRuns(v *vector.Vector) int64 {
+	if v == nil || len(v.Names()) != 1 {
+		return 0
+	}
+	c := v.Col(v.Names()[0])
+	if c == nil {
+		return 0
+	}
+	var runs int64
+	for i := 0; i < c.Len(); i++ {
+		if c.Valid(i) {
+			runs++
+		}
+	}
+	return runs
 }
 
 type evaluator struct {

@@ -140,6 +140,28 @@ type Loop struct {
 	Body     []Instr
 }
 
+// Prov records why the compiler emitted a fragment: which SSA statements
+// fused into it and which of the paper's fusion decisions shaped it. It is
+// metadata for EXPLAIN and execution traces; execution ignores it.
+type Prov struct {
+	// Kind classifies the fragment: "fold", "scan", "filter-fold",
+	// "reduce", "select", "filter", "mat", "scatter", "group-fold",
+	// "group-reduce".
+	Kind string
+	// Stmts lists the SSA ids of the statements this fragment computes;
+	// more than one means operators were fused.
+	Stmts []int
+	// Suppressed marks empty-slot suppression (§3.1.2): the output holds
+	// one slot per run instead of one per element.
+	Suppressed bool
+	// Virtual marks a fragment that dissolved a scatter into index
+	// arithmetic (§3.1.3) instead of moving data.
+	Virtual bool
+	// Predicated marks selection lowered as cursor arithmetic instead of
+	// a data-dependent branch.
+	Predicated bool
+}
+
 // Fragment is one generated kernel: Extent parallel work items each running
 // the loop nest sequentially. N guards the global element index (the last
 // work item may be ragged).
@@ -149,6 +171,9 @@ type Fragment struct {
 	Intent  int
 	Strided bool // idx = iv*Extent + gid instead of gid*Intent + iv
 	N       int  // iterations with idx >= N are skipped
+
+	// Prov is compiler provenance for EXPLAIN and tracing.
+	Prov Prov
 
 	// Locals is the size of the per-work-item scratch array (0 = none);
 	// LocalsFloat selects its type. Scratch arrays hold chunk-local

@@ -10,6 +10,7 @@ import (
 	"voodoo/internal/exec"
 	"voodoo/internal/interp"
 	"voodoo/internal/storage"
+	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
 
@@ -51,6 +52,16 @@ type Engine struct {
 	// extent limits apply to the compiling backends; the deadline applies
 	// to every backend.
 	Limits exec.Limits
+	// TraceSink, when set, receives the execution trace of every query
+	// this engine runs (one call per lowered program, so multi-phase
+	// queries deliver several traces). Engines are value-copied by
+	// RunTraced to give each concurrent query its own sink, so shared
+	// engines stay race-free.
+	TraceSink func(*trace.Trace)
+	// PlanSink, when set, receives every compiled plan just before it
+	// executes (EXPLAIN tooling; multi-phase queries deliver one plan per
+	// phase). Interpreted queries compile nothing and deliver none.
+	PlanSink func(*compile.Plan)
 }
 
 // Catalog implements Runner.
@@ -98,7 +109,18 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *e
 	values := map[core.Ref]*vector.Vector{}
 	switch e.Backend {
 	case Interpreted:
-		ires, ierr := interp.RunContext(ctx, prog, e.Cat)
+		var ires *interp.Result
+		var ierr error
+		if e.TraceSink != nil {
+			var tr *trace.Trace
+			ires, tr, ierr = interp.RunTracedContext(ctx, prog, e.Cat)
+			if tr != nil {
+				tr.Query = q.Name
+				e.TraceSink(tr)
+			}
+		} else {
+			ires, ierr = interp.RunContext(ctx, prog, e.Cat)
+		}
 		if ierr != nil {
 			return nil, nil, ierr
 		}
@@ -106,18 +128,25 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *e
 			values[o.ref] = ires.Value(o.ref)
 		}
 	default:
-		opt := e.Opt
-		opt.ScatterParallel = true // join builds scatter unique keys
-		if e.Backend == BulkCompiled {
-			opt.ForceBulk = true
-		}
-		plan, cerr := compile.Compile(prog, e.Cat, opt)
+		plan, cerr := e.Plan(prog)
 		if cerr != nil {
 			return nil, nil, cerr
 		}
-		plan.CollectStats = e.CollectStats
-		plan.Limits = e.Limits
-		pres, rerr := plan.RunContext(ctx)
+		if e.PlanSink != nil {
+			e.PlanSink(plan)
+		}
+		var pres *compile.Result
+		var rerr error
+		if e.TraceSink != nil {
+			var tr *trace.Trace
+			pres, tr, rerr = plan.RunTracedContext(ctx)
+			if tr != nil {
+				tr.Query = q.Name
+				e.TraceSink(tr)
+			}
+		} else {
+			pres, rerr = plan.RunContext(ctx)
+		}
 		if rerr != nil {
 			return nil, nil, rerr
 		}
@@ -224,6 +253,36 @@ func (r *Result) Decode(col string, v float64) string {
 		return d(v)
 	}
 	return fmt.Sprintf("%g", v)
+}
+
+// Plan compiles a lowered program with the engine's backend options — the
+// same configuration RunContext executes, exposed so tools can EXPLAIN the
+// exact plan a query would run.
+func (e *Engine) Plan(prog *core.Program) (*compile.Plan, error) {
+	opt := e.Opt
+	opt.ScatterParallel = true // join builds scatter unique keys
+	if e.Backend == BulkCompiled {
+		opt.ForceBulk = true
+	}
+	plan, err := compile.Compile(prog, e.Cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	plan.CollectStats = e.CollectStats
+	plan.Limits = e.Limits
+	return plan, nil
+}
+
+// RunTraced runs q and returns its execution traces — one per lowered
+// program, so multi-phase queries deliver several. The engine is copied
+// with a private sink, so concurrent RunTraced calls on one shared engine
+// never share mutable trace state.
+func (e *Engine) RunTraced(ctx context.Context, q Query) (*Result, []*trace.Trace, error) {
+	eng := *e
+	var traces []*trace.Trace
+	eng.TraceSink = func(t *trace.Trace) { traces = append(traces, t) }
+	res, _, err := eng.RunContext(ctx, q)
+	return res, traces, err
 }
 
 // Lower exposes the Voodoo program a query lowers to, for inspection tools

@@ -163,6 +163,8 @@ func (GroupAgg) isNode()  {}
 // paper keeps outside Voodoo.
 type Query struct {
 	Root Node
+	// Name labels the query in execution traces.
+	Name string
 	// Having filters result rows (aggregate predicates).
 	Having func(Row) bool
 	// OrderBy sorts the result rows (less function); Limit truncates.

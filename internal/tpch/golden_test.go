@@ -1,0 +1,143 @@
+package tpch
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/rel"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden TPC-H answer files from the interpreter")
+
+// goldenPath is the checked-in interpreter answer for query num at the
+// test catalog's scale factor and seed.
+func goldenPath(num int) string {
+	return filepath.Join("testdata", "golden", fmt.Sprintf("q%02d.golden", num))
+}
+
+// formatResult renders a result table losslessly: shortest float64
+// round-trip formatting, tab separated, one header line. The interpreter
+// is deterministic, so this rendering is byte-stable across runs.
+func formatResult(res *rel.Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Cols, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		for j, c := range res.Cols {
+			if j > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(strconv.FormatFloat(row[c], 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// parseGolden reads a golden file back into columns and rows.
+func parseGolden(t *testing.T, path string) ([]string, [][]float64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden answer (run `go test ./internal/tpch -run Golden -update` to create): %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	cols := strings.Split(lines[0], "\t")
+	var rows [][]float64
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, "\t")
+		if len(fields) != len(cols) {
+			t.Fatalf("%s: malformed row %q", path, line)
+		}
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				t.Fatalf("%s: bad float %q: %v", path, f, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return cols, rows
+}
+
+// TestGoldenAnswers pins the TPC-H answers: the interpreter must
+// reproduce the checked-in golden files byte-for-byte, and every
+// compiling configuration must match them to 1e-9 relative tolerance
+// (float aggregation order differs between the fused fragments' parallel
+// partials and the interpreter's sequential folds). Any unintended
+// change to lowering, fusion or execution shows up as a golden diff.
+func TestGoldenAnswers(t *testing.T) {
+	for _, num := range QueryNumbers {
+		num := num
+		t.Run(queryName(num), func(t *testing.T) {
+			qf, err := Query(num)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ires, _, err := qf(&rel.Engine{Cat: testCat, Backend: rel.Interpreted})
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			got := formatResult(ires)
+			path := goldenPath(num)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			cols, rows := parseGolden(t, path)
+			data, _ := os.ReadFile(path)
+			if got != string(data) {
+				t.Errorf("interpreter answer drifted from golden %s:\ngot:\n%s\nwant:\n%s", path, got, data)
+			}
+
+			for name, e := range map[string]*rel.Engine{
+				"compiled":        {Cat: testCat, Backend: rel.Compiled},
+				"predicated":      {Cat: testCat, Backend: rel.Compiled, Opt: compile.Options{Predication: true}},
+				"bulk":            {Cat: testCat, Backend: rel.BulkCompiled},
+				"bulk-predicated": {Cat: testCat, Backend: rel.BulkCompiled, Opt: compile.Options{Predication: true}},
+			} {
+				res, _, err := qf(e)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				matchGolden(t, name, cols, rows, res)
+			}
+		})
+	}
+}
+
+// matchGolden compares a backend result to the parsed golden rows with
+// 1e-9 relative tolerance.
+func matchGolden(t *testing.T, name string, cols []string, rows [][]float64, res *rel.Result) {
+	t.Helper()
+	if strings.Join(res.Cols, "\t") != strings.Join(cols, "\t") {
+		t.Fatalf("%s: columns %v, golden has %v", name, res.Cols, cols)
+	}
+	if len(res.Rows) != len(rows) {
+		t.Fatalf("%s: %d rows, golden has %d", name, len(res.Rows), len(rows))
+	}
+	for i, row := range rows {
+		for j, c := range cols {
+			want, got := row[j], res.Rows[i][c]
+			tol := 1e-9 * math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s row %d col %s: %g, golden %g (|Δ|=%g > %g)",
+					name, i, c, got, want, math.Abs(got-want), tol)
+			}
+		}
+	}
+}
