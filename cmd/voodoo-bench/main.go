@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"voodoo/internal/bench"
+	"voodoo/internal/diag"
+	"voodoo/internal/metrics"
 )
 
 func main() {
@@ -34,7 +36,17 @@ func main() {
 	ciOut := flag.String("ci-out", "BENCH_ci.json", "ci: write the smoke report here")
 	baseline := flag.String("baseline", "BENCH_baseline.json", "ci: committed baseline to compare against")
 	writeBaseline := flag.Bool("write-baseline", false, "ci: rewrite the baseline instead of comparing")
+	diagAddr := flag.String("diag-addr", "", "serve /metrics, pprof and expvar on this address while the benchmarks run (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *diagAddr != "" {
+		ds, err := diag.Serve(*diagAddr, metrics.Default, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "voodoo-bench: diagnostics on http://%s\n", ds.Addr)
+	}
 
 	cfg := bench.Config{N: *n, SF: *sf, Seed: *seed}
 	targets := flag.Args()

@@ -8,7 +8,7 @@
 //	voodoo-run [-sf SF] [-data DIR] [-backend compiled|interp|bulk]
 //	           [-predicate] [-show-kernel] [-show-opencl]
 //	           [-explain] [-explain-analyze] [-trace out.json]
-//	           [-q N] 'SELECT ...'
+//	           [-diag-addr ADDR] [-q N] 'SELECT ...'
 //
 // Examples:
 //
@@ -32,7 +32,9 @@ import (
 
 	"voodoo/internal/compile"
 	"voodoo/internal/core"
+	"voodoo/internal/diag"
 	"voodoo/internal/exec"
+	"voodoo/internal/metrics"
 	"voodoo/internal/opencl"
 	"voodoo/internal/rel"
 	"voodoo/internal/sql"
@@ -55,7 +57,17 @@ func main() {
 	explain := flag.Bool("explain", false, "print the static execution plan (TPC-H -q queries still execute, to drive multi-phase lowering)")
 	analyze := flag.Bool("explain-analyze", false, "run the query and print the plan with measured per-step times, items and bytes")
 	traceOut := flag.String("trace", "", "run the query and write its execution trace as JSON to this file")
+	diagAddr := flag.String("diag-addr", "", "serve /metrics, pprof and expvar on this address for the process lifetime (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *diagAddr != "" {
+		ds, err := diag.Serve(*diagAddr, metrics.Default, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "voodoo-run: diagnostics on http://%s\n", ds.Addr)
+	}
 
 	var limits exec.Limits
 	if *maxMem != "" {

@@ -1,0 +1,166 @@
+// Command voodoo-serve is the long-running Voodoo query daemon: it loads
+// (or generates) a TPC-H catalog once, then serves SQL over HTTP with
+// the exec resource governor's limits applied per request and the full
+// diagnostics surface mounted — Prometheus /metrics, pprof, expvar, and
+// the live /queries registry with per-step progress and cancellation.
+//
+// Usage:
+//
+//	voodoo-serve [-addr :8080] [-diag-addr ADDR]
+//	             [-sf SF] [-data DIR] [-backend compiled|interp|bulk] [-predicate]
+//	             [-timeout 30s] [-max-mem 1g] [-max-extent N]
+//	             [-concurrency N] [-slow N]
+//
+// Examples:
+//
+//	voodoo-serve -sf 0.1 &
+//	curl -s localhost:8080/query -d 'SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag'
+//	curl -s 'localhost:8080/query?q=6'
+//	curl -s localhost:8080/queries
+//	curl -s localhost:8080/metrics | grep voodoo_
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/diag"
+	"voodoo/internal/exec"
+	"voodoo/internal/metrics"
+	"voodoo/internal/rel"
+	"voodoo/internal/serve"
+	"voodoo/internal/storage"
+	"voodoo/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "serve SQL and diagnostics on this address")
+	diagAddr := flag.String("diag-addr", "", "additionally serve the diagnostics endpoints on this address (e.g. localhost:6060)")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the generated catalog")
+	data := flag.String("data", "", "load the catalog from this directory instead of generating")
+	backend := flag.String("backend", "compiled", "compiled, interp or bulk")
+	predicate := flag.Bool("predicate", false, "compile selections branch-free (predication)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request wall-clock budget, queue wait included (0 = unlimited)")
+	maxMem := flag.String("max-mem", "", "per-request buffer allocation budget (e.g. 64m, 1g; empty = unlimited)")
+	maxExtent := flag.Int("max-extent", 0, "per-request fragment extent cap (0 = unlimited)")
+	concurrency := flag.Int("concurrency", 0, "max queries executing at once (0 = GOMAXPROCS); excess requests queue")
+	slowN := flag.Int("slow", 16, "retain full traces of the N slowest queries")
+	flag.Parse()
+
+	var limits exec.Limits
+	if *maxMem != "" {
+		n, err := parseSize(*maxMem)
+		if err != nil {
+			fatal(err)
+		}
+		limits.MaxBytes = n
+	}
+	limits.MaxExtent = *maxExtent
+
+	start := time.Now()
+	var cat *storage.Catalog
+	var err error
+	if *data != "" {
+		cat, err = storage.Load(*data)
+	} else {
+		cat = tpch.Generate(tpch.Config{SF: *sf, Seed: 42})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "voodoo-serve: catalog ready in %.1fs (%s)\n",
+		time.Since(start).Seconds(), catalogSummary(cat))
+
+	s := serve.New(serve.Config{
+		Cat:           cat,
+		Backend:       backendFor(*backend),
+		Opt:           compile.Options{Predication: *predicate},
+		Limits:        limits,
+		Timeout:       *timeout,
+		MaxConcurrent: *concurrency,
+		SlowQueries:   *slowN,
+	})
+
+	if *diagAddr != "" {
+		ds, err := diag.Serve(*diagAddr, metrics.Default, s.QueryRegistry())
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "voodoo-serve: diagnostics on http://%s\n", ds.Addr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Mux()}
+	go func() {
+		fmt.Fprintf(os.Stderr, "voodoo-serve: listening on %s\n", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	// Serve until interrupted, then drain in-flight requests briefly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "voodoo-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+}
+
+func backendFor(name string) rel.Backend {
+	switch name {
+	case "compiled":
+		return rel.Compiled
+	case "interp":
+		return rel.Interpreted
+	case "bulk":
+		return rel.BulkCompiled
+	}
+	fatal(fmt.Errorf("unknown backend %q", name))
+	panic("unreachable")
+}
+
+func catalogSummary(cat *storage.Catalog) string {
+	var parts []string
+	for _, name := range cat.Tables() {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, cat.Table(name).N))
+	}
+	return strings.Join(parts, " ")
+}
+
+// parseSize parses a byte count with an optional k/m/g suffix (powers of
+// 1024): "512", "64m", "1g".
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch strings.ToLower(s[len(s)-1:]) {
+	case "k":
+		mult, s = 1<<10, s[:len(s)-1]
+	case "m":
+		mult, s = 1<<20, s[:len(s)-1]
+	case "g":
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512, 64m, 1g)", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voodoo-serve:", err)
+	os.Exit(1)
+}

@@ -33,9 +33,9 @@ func TestCompareCI(t *testing.T) {
 	}
 
 	cur := &CIReport{N: 16384, SF: 0.005, Seed: 42, Medians: map[string]float64{
-		"a": 0.00126, // +26%: regression
-		"b": 0.0024,  // +20%: within tolerance
-		"tiny": 1,    // huge relative jump, but below the floor in the baseline
+		"a":    0.00126, // +26%: regression
+		"b":    0.0024,  // +20%: within tolerance
+		"tiny": 1,       // huge relative jump, but below the floor in the baseline
 	}}
 	v := CompareCI(cur, base, 0.25)
 	if len(v) != 2 {

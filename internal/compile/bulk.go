@@ -144,7 +144,7 @@ func (c *compiler) bufferizeWithCtrl(d *desc, ctrl foldCtrl) *desc {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("mat_%d", len(c.kern.Frags)),
 		Extent: extent, Intent: (d.n + extent - 1) / extent, N: d.n,
-		Prov:   kernel.Prov{Kind: "mat", Stmts: []int{c.cur}},
+		Prov: kernel.Prov{Kind: "mat", Stmts: []int{c.cur}},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -462,7 +462,7 @@ func (c *compiler) scatterFragment(src *desc, pos attr, n2 int, parallel bool) *
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("scatter_%d", len(c.kern.Frags)),
 		Extent: extent, Intent: (src.n + extent - 1) / extent, N: src.n,
-		Prov:   kernel.Prov{Kind: "scatter", Stmts: []int{c.cur}},
+		Prov: kernel.Prov{Kind: "scatter", Stmts: []int{c.cur}},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)

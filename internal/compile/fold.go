@@ -301,7 +301,7 @@ func (c *compiler) plainScan(s *core.Stmt, d *desc, ctrl foldCtrl) *desc {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("scan_%d", s.ID),
 		Extent: numRuns, Intent: ctrl.runLen, N: d.n,
-		Prov:   kernel.Prov{Kind: "scan", Stmts: []int{int(s.ID)}},
+		Prov: kernel.Prov{Kind: "scan", Stmts: []int{int(s.ID)}},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -475,7 +475,7 @@ func (c *compiler) reduceCompact(accs []*accState, numRuns, logicalN int) {
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("reduce_%d", accs[0].spec.stmt.ID),
 		Extent: 1, Intent: numRuns, N: numRuns,
-		Prov:   kernel.Prov{Kind: "reduce", Stmts: accStmts(accs), Suppressed: true},
+		Prov: kernel.Prov{Kind: "reduce", Stmts: accStmts(accs), Suppressed: true},
 	}
 	var body []kernel.Instr
 	em := newEmitter(&body)
@@ -678,7 +678,7 @@ func (c *compiler) groupedFold(s *core.Stmt, d *desc) *desc {
 	rf := &kernel.Fragment{
 		Name:   fmt.Sprintf("greduce_%d", s.ID),
 		Extent: k, Intent: P,
-		Prov:   kernel.Prov{Kind: "group-reduce", Stmts: specStmts(specs), Virtual: true},
+		Prov: kernel.Prov{Kind: "group-reduce", Stmts: specStmts(specs), Virtual: true},
 	}
 	var rbody []kernel.Instr
 	rem := newEmitter(&rbody)

@@ -189,12 +189,19 @@ func (p *Plan) RunTracedContext(ctx context.Context) (*Result, *trace.Trace, err
 		"forcebulk":       p.opt.ForceBulk,
 		"scatterparallel": p.opt.ScatterParallel,
 	}}
+	// A context-carried observer receives each step as it completes (the
+	// diagnostics server's live query progress).
+	tr.OnStep = trace.ObserverFrom(ctx)
 	return p.run(ctx, tr)
 }
 
-func (p *Plan) run(ctx context.Context, tr *trace.Trace) (*Result, *trace.Trace, error) {
+func (p *Plan) run(ctx context.Context, tr *trace.Trace) (_ *Result, _ *trace.Trace, err error) {
 	trace.CountQuery()
 	start := time.Now()
+	defer func() {
+		trace.ObserveQueryWall(time.Since(start))
+		exec.NoteDeadline(p.Limits, err)
+	}()
 	if d := p.Limits.Deadline; !d.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, d)
@@ -320,7 +327,7 @@ func runStep(s step, rt *runtime) (err error) {
 				err = pe
 				return
 			}
-			err = &exec.PanicError{Fragment: s.stepName(), Value: r, Stack: stack()}
+			err = exec.NewPanicError(s.stepName(), r, stack())
 		}
 	}()
 	return s.run(rt)
@@ -335,7 +342,7 @@ func convertProtected(o output, rt *runtime) (v *vector.Vector, err error) {
 				v, err = nil, pe
 				return
 			}
-			v, err = nil, &exec.PanicError{Fragment: fmt.Sprintf("output v%d", o.ref), Value: r, Stack: stack()}
+			v, err = nil, exec.NewPanicError(fmt.Sprintf("output v%d", o.ref), r, stack())
 		}
 	}()
 	return o.conv(rt)

@@ -1,0 +1,126 @@
+package diag
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"voodoo/internal/metrics"
+)
+
+// NewMux builds the diagnostics mux:
+//
+//	/metrics         Prometheus text exposition of reg
+//	/debug/pprof/*   the standard pprof handlers (profile, heap, trace, …)
+//	/debug/vars      expvar (the historical "voodoo" counter view)
+//	/healthz         liveness probe
+//	/queries         JSON: in-flight queries (live progress) + slow-query summaries
+//	/queries/slow    JSON: the slow ring with full traces
+//	/queries/cancel  POST ?id=N — cancel an in-flight query
+//
+// qr may be nil (one-shot tools expose metrics/pprof without a query
+// registry); the /queries endpoints are mounted only when it is set.
+func NewMux(reg *metrics.Registry, qr *QueryRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if qr != nil {
+		mux.HandleFunc("GET /queries", qr.handleList)
+		mux.HandleFunc("GET /queries/slow", qr.handleSlow)
+		mux.HandleFunc("POST /queries/cancel", qr.handleCancel)
+	}
+	return mux
+}
+
+// cancelPath renders the cancel action URL for query id.
+func cancelPath(id int64) string {
+	return fmt.Sprintf("POST /queries/cancel?id=%d", id)
+}
+
+// queriesResponse is the /queries payload: live in-flight queries plus
+// summaries (no traces) of the retained slowest ones.
+type queriesResponse struct {
+	Active []QueryInfo `json:"active"`
+	Slow   []SlowQuery `json:"slow"`
+}
+
+func (r *QueryRegistry) handleList(w http.ResponseWriter, _ *http.Request) {
+	slow := r.Slow()
+	for i := range slow {
+		slow[i].Traces = nil // summaries here; /queries/slow has the full traces
+	}
+	resp := queriesResponse{Active: r.Active(), Slow: slow}
+	if resp.Active == nil {
+		resp.Active = []QueryInfo{}
+	}
+	if resp.Slow == nil {
+		resp.Slow = []SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (r *QueryRegistry) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	slow := r.Slow()
+	if slow == nil {
+		slow = []SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, slow)
+}
+
+func (r *QueryRegistry) handleCancel(w http.ResponseWriter, req *http.Request) {
+	id, err := strconv.ParseInt(req.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing or malformed id parameter"})
+		return
+	}
+	if !r.Cancel(id) {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no active query %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cancelled": id})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort to a dead client
+}
+
+// Server is a running diagnostics HTTP server.
+type Server struct {
+	// Addr is the bound address (resolved, so ":0" listeners report
+	// their real port).
+	Addr string
+	srv  *http.Server
+}
+
+// Serve starts a diagnostics server on addr in the background and
+// returns once the listener is bound — the -diag-addr entry point for
+// one-shot tools, which want pprof and /metrics live while they run.
+func Serve(addr string, reg *metrics.Registry, qr *QueryRegistry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: NewMux(reg, qr)}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

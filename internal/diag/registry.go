@@ -1,0 +1,220 @@
+// Package diag is the always-on diagnostics surface of a Voodoo process:
+// an HTTP server mounting Prometheus metrics, pprof, expvar, and a live
+// view of in-flight queries with a cancel action and a retained ring of
+// the slowest queries' full traces.
+//
+// The query registry is the piece the rest of the stack feeds: a query
+// enters at Begin, streams completed trace steps into its entry (via the
+// trace package's context-carried Observer), and leaves at Finish, at
+// which point its full traces compete for a slot in the slow-query ring.
+// Everything is safe for concurrent use; in-flight progress counters are
+// atomics so the serving goroutine never contends with scrapers.
+package diag
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voodoo/internal/trace"
+)
+
+// QueryRegistry tracks in-flight queries and retains the slowest
+// finished ones.
+type QueryRegistry struct {
+	mu     sync.Mutex
+	nextID int64
+	active map[int64]*ActiveQuery
+	slow   *SlowRing
+}
+
+// NewQueryRegistry returns a registry whose slow-query ring retains the
+// slowN worst queries by wall time (slowN <= 0 defaults to 16).
+func NewQueryRegistry(slowN int) *QueryRegistry {
+	if slowN <= 0 {
+		slowN = 16
+	}
+	return &QueryRegistry{active: map[int64]*ActiveQuery{}, slow: NewSlowRing(slowN)}
+}
+
+// ActiveQuery is one in-flight query's registry entry. Its Observe
+// method is a trace.Observer: attach it to the query's context with
+// trace.WithObserver and the traced backends stream live progress here.
+type ActiveQuery struct {
+	id     int64
+	sql    string
+	start  time.Time
+	cancel context.CancelFunc
+
+	steps    atomic.Int64
+	items    atomic.Int64
+	matBytes atomic.Int64
+	lastStep atomic.Pointer[string]
+}
+
+// ID returns the registry-assigned query id (the cancel handle).
+func (q *ActiveQuery) ID() int64 { return q.id }
+
+// Observe records one completed trace step; it is the query's live
+// progress feed and is safe against concurrent snapshot readers.
+func (q *ActiveQuery) Observe(s trace.Step) {
+	q.steps.Add(1)
+	q.items.Add(s.Items)
+	q.matBytes.Add(s.MaterializedBytes)
+	name := s.Kind + " " + s.Name
+	q.lastStep.Store(&name)
+}
+
+// Begin registers an in-flight query. cancel, when non-nil, is invoked
+// by the registry's Cancel action (and never by the registry itself
+// otherwise); the caller still owns the context.
+func (r *QueryRegistry) Begin(sql string, cancel context.CancelFunc) *ActiveQuery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	q := &ActiveQuery{id: r.nextID, sql: sql, start: time.Now(), cancel: cancel}
+	r.active[q.id] = q
+	return q
+}
+
+// Finish removes q from the active set and offers its record — full
+// traces included — to the slow-query ring. err may be nil.
+func (r *QueryRegistry) Finish(q *ActiveQuery, traces []*trace.Trace, err error) {
+	wall := time.Since(q.start)
+	r.mu.Lock()
+	delete(r.active, q.id)
+	r.mu.Unlock()
+	e := SlowQuery{
+		ID: q.id, SQL: q.sql, StartedAt: q.start, WallNS: wall.Nanoseconds(),
+		Items: q.items.Load(), MaterializedBytes: q.matBytes.Load(), Traces: traces,
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	r.slow.Offer(e)
+}
+
+// Cancel invokes the cancel action of the active query id and reports
+// whether such a query existed (the query stays listed as active until
+// its runner actually unwinds and calls Finish).
+func (r *QueryRegistry) Cancel(id int64) bool {
+	r.mu.Lock()
+	q, ok := r.active[id]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if q.cancel != nil {
+		q.cancel()
+	}
+	return true
+}
+
+// ActiveCount returns the number of in-flight queries (the
+// voodoo_active_queries gauge).
+func (r *QueryRegistry) ActiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// QueryInfo is the JSON snapshot of one in-flight query.
+type QueryInfo struct {
+	ID        int64     `json:"id"`
+	SQL       string    `json:"sql"`
+	StartedAt time.Time `json:"started_at"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	// StepsDone counts completed plan steps; LastStep names the most
+	// recently completed one ("fragment sel_fused", "bulk FoldSum", …) —
+	// together they are the query's live progress.
+	StepsDone         int64  `json:"steps_done"`
+	LastStep          string `json:"last_step,omitempty"`
+	Items             int64  `json:"items"`
+	MaterializedBytes int64  `json:"materialized_bytes"`
+	// Cancel is the ready-to-use cancel action for this query.
+	Cancel string `json:"cancel"`
+}
+
+// Active snapshots the in-flight queries, oldest first.
+func (r *QueryRegistry) Active() []QueryInfo {
+	r.mu.Lock()
+	qs := make([]*ActiveQuery, 0, len(r.active))
+	for _, q := range r.active {
+		qs = append(qs, q)
+	}
+	r.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].id < qs[j].id })
+	out := make([]QueryInfo, len(qs))
+	for i, q := range qs {
+		out[i] = QueryInfo{
+			ID: q.id, SQL: q.sql, StartedAt: q.start,
+			ElapsedNS: time.Since(q.start).Nanoseconds(),
+			StepsDone: q.steps.Load(), Items: q.items.Load(),
+			MaterializedBytes: q.matBytes.Load(),
+			Cancel:            cancelPath(q.id),
+		}
+		if p := q.lastStep.Load(); p != nil {
+			out[i].LastStep = *p
+		}
+	}
+	return out
+}
+
+// Slow returns the retained slowest queries, slowest first.
+func (r *QueryRegistry) Slow() []SlowQuery { return r.slow.Snapshot() }
+
+// SlowQuery is one finished query retained by the slow-query ring.
+type SlowQuery struct {
+	ID                int64          `json:"id"`
+	SQL               string         `json:"sql"`
+	StartedAt         time.Time      `json:"started_at"`
+	WallNS            int64          `json:"wall_ns"`
+	Items             int64          `json:"items"`
+	MaterializedBytes int64          `json:"materialized_bytes"`
+	Error             string         `json:"error,omitempty"`
+	Traces            []*trace.Trace `json:"traces,omitempty"`
+}
+
+// SlowRing retains the N slowest finished queries by wall time: a
+// fixed-capacity buffer where a new entry evicts the fastest retained
+// one once full. Entries are kept sorted, slowest first.
+type SlowRing struct {
+	mu      sync.Mutex
+	cap     int
+	entries []SlowQuery
+}
+
+// NewSlowRing returns a ring retaining the n slowest queries.
+func NewSlowRing(n int) *SlowRing { return &SlowRing{cap: n} }
+
+// Offer inserts e if it ranks among the n slowest seen so far.
+func (r *SlowRing) Offer(e SlowQuery) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].WallNS < e.WallNS })
+	if i >= r.cap {
+		return
+	}
+	r.entries = append(r.entries, SlowQuery{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = e
+	if len(r.entries) > r.cap {
+		r.entries = r.entries[:r.cap]
+	}
+}
+
+// Snapshot copies the retained entries, slowest first.
+func (r *SlowRing) Snapshot() []SlowQuery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SlowQuery(nil), r.entries...)
+}
+
+// Len returns the number of retained entries.
+func (r *SlowRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

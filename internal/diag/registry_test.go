@@ -1,0 +1,208 @@
+package diag
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"voodoo/internal/trace"
+)
+
+// TestSlowRingRetainsWorst: the ring keeps exactly the N slowest entries,
+// sorted slowest first, and evicts the fastest when full.
+func TestSlowRingRetainsWorst(t *testing.T) {
+	r := NewSlowRing(3)
+	for _, w := range []int64{50, 10, 90, 30, 70} {
+		r.Offer(SlowQuery{ID: w, WallNS: w})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	for i, want := range []int64{90, 70, 50} {
+		if got[i].WallNS != want {
+			t.Errorf("slot %d: wall %d, want %d", i, got[i].WallNS, want)
+		}
+	}
+	// An entry faster than everything retained is dropped.
+	r.Offer(SlowQuery{WallNS: 1})
+	if r.Len() != 3 || r.Snapshot()[2].WallNS != 50 {
+		t.Errorf("fast entry displaced a slower one: %+v", r.Snapshot())
+	}
+}
+
+// TestRegistryLifecycle: Begin/Observe/Finish move a query from the
+// active view into the slow ring with its accumulated progress.
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewQueryRegistry(4)
+	q := r.Begin("SELECT 1", nil)
+	if n := r.ActiveCount(); n != 1 {
+		t.Fatalf("ActiveCount = %d, want 1", n)
+	}
+	q.Observe(trace.Step{Kind: trace.KindBind, Name: "lineitem.l_quantity"})
+	q.Observe(trace.Step{Kind: trace.KindFragment, Name: "sel_0", Items: 100, MaterializedBytes: 800})
+
+	act := r.Active()
+	if len(act) != 1 {
+		t.Fatalf("Active() returned %d queries", len(act))
+	}
+	a := act[0]
+	if a.SQL != "SELECT 1" || a.StepsDone != 2 || a.Items != 100 ||
+		a.MaterializedBytes != 800 || a.LastStep != "fragment sel_0" {
+		t.Errorf("bad active snapshot: %+v", a)
+	}
+	if a.Cancel != fmt.Sprintf("POST /queries/cancel?id=%d", a.ID) {
+		t.Errorf("bad cancel action %q", a.Cancel)
+	}
+
+	tr := &trace.Trace{Backend: "compiled"}
+	r.Finish(q, []*trace.Trace{tr}, nil)
+	if r.ActiveCount() != 0 {
+		t.Errorf("query still active after Finish")
+	}
+	slow := r.Slow()
+	if len(slow) != 1 || slow[0].SQL != "SELECT 1" || len(slow[0].Traces) != 1 {
+		t.Errorf("slow ring did not retain the finished query: %+v", slow)
+	}
+}
+
+// TestRegistryCancel: Cancel fires the registered CancelFunc exactly for
+// the named id and reports unknown ids.
+func TestRegistryCancel(t *testing.T) {
+	r := NewQueryRegistry(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	q := r.Begin("SELECT slow", cancel)
+	if r.Cancel(q.ID() + 99) {
+		t.Errorf("cancelling an unknown id reported success")
+	}
+	if !r.Cancel(q.ID()) {
+		t.Fatalf("cancelling an active id reported failure")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Errorf("cancel action did not fire the CancelFunc")
+	}
+	// The query stays listed until its runner unwinds.
+	if r.ActiveCount() != 1 {
+		t.Errorf("cancelled query disappeared before Finish")
+	}
+	r.Finish(q, nil, ctx.Err())
+	if got := r.Slow()[0].Error; got != "context canceled" {
+		t.Errorf("slow entry error = %q", got)
+	}
+}
+
+// TestRegistryConcurrent hammers the registry from many writer and
+// reader goroutines — the -race gate demanded by the acceptance criteria.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewQueryRegistry(8)
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: snapshot active + slow views continuously.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Active()
+					r.Slow()
+					r.ActiveCount()
+				}
+			}
+		}()
+	}
+	// A canceller: fires cancel actions at whatever ids are live.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, q := range r.Active() {
+					r.Cancel(q.ID)
+				}
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < each; i++ {
+				_, cancel := context.WithCancel(context.Background())
+				q := r.Begin(fmt.Sprintf("SELECT %d", w), cancel)
+				q.Observe(trace.Step{Kind: trace.KindFragment, Name: "f", Items: 1, MaterializedBytes: 8})
+				q.Observe(trace.Step{Kind: trace.KindOutput, Name: "v0", Items: 1})
+				r.Finish(q, []*trace.Trace{{Backend: "compiled"}}, nil)
+				cancel()
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if r.ActiveCount() != 0 {
+		t.Errorf("%d queries leaked in the active set", r.ActiveCount())
+	}
+	if r.slow.Len() != 8 {
+		t.Errorf("slow ring holds %d entries, want its capacity 8", r.slow.Len())
+	}
+}
+
+// TestSlowRingConcurrent races Offer against Snapshot.
+func TestSlowRingConcurrent(t *testing.T) {
+	r := NewSlowRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Offer(SlowQuery{ID: int64(w*1000 + i), WallNS: int64(i * (w + 1))})
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if len(got) != 16 {
+		t.Fatalf("retained %d, want 16", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].WallNS > got[i-1].WallNS {
+			t.Fatalf("ring not sorted at %d: %d > %d", i, got[i].WallNS, got[i-1].WallNS)
+		}
+	}
+	// The slowest retained entry must be the global maximum offered:
+	// 499 * 8 from the w=7 writer.
+	if got[0].WallNS != 499*8 {
+		t.Errorf("slowest retained = %d, want %d", got[0].WallNS, 499*8)
+	}
+}
+
+// TestActiveElapsed: elapsed time in snapshots moves forward.
+func TestActiveElapsed(t *testing.T) {
+	r := NewQueryRegistry(2)
+	q := r.Begin("SELECT now", nil)
+	time.Sleep(10 * time.Millisecond)
+	if e := r.Active()[0].ElapsedNS; e < int64(5*time.Millisecond) {
+		t.Errorf("elapsed %dns implausibly small", e)
+	}
+	r.Finish(q, nil, nil)
+}

@@ -21,9 +21,38 @@ import (
 
 	"voodoo/internal/faultinject"
 	"voodoo/internal/kernel"
+	"voodoo/internal/metrics"
 	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
+
+// Governor and panic-isolation visibility: operators watching /metrics
+// see *degradation* (queries rejected per limit kind, kernels panicking),
+// not just errors in logs. Counters are touched only on failure paths, so
+// the hot path pays nothing. All three limit kinds are pre-created so the
+// series exist at zero.
+var (
+	exhaustedVec = metrics.NewCounterVec("voodoo_resource_exhausted_total",
+		"Executions aborted by the per-query resource governor, by exhausted limit.", "kind")
+	exhaustedBytes    = exhaustedVec.With("bytes")
+	exhaustedExtent   = exhaustedVec.With("extent")
+	exhaustedDeadline = exhaustedVec.With("deadline")
+
+	panicsRecovered = metrics.NewCounter("voodoo_panics_recovered_total",
+		"Panics recovered into *PanicError at worker, plan-step and interpreter boundaries.")
+)
+
+// NoteDeadline counts err against the governor's deadline counter when
+// the governor had a wall-clock deadline installed and the run timed
+// out. Each entry point that installs Limits.Deadline calls it exactly
+// once per failed run (compile plans for the compiling backends, the
+// relational engine for the interpreter, RunContext for direct executor
+// users), so a query is never double-counted.
+func NoteDeadline(lim Limits, err error) {
+	if !lim.Deadline.IsZero() && errors.Is(err, context.DeadlineExceeded) {
+		exhaustedDeadline.Inc()
+	}
+}
 
 // ErrResourceExhausted is wrapped by every error the resource governor
 // returns; match it with errors.Is.
@@ -61,6 +90,16 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("exec: panic in %s: %v", e.Fragment, e.Value)
 }
 
+// NewPanicError builds the *PanicError for a freshly recovered panic and
+// counts it in voodoo_panics_recovered_total. Every recovery boundary
+// (executor workers, plan steps, interpreter statements) constructs
+// through here so the counter sees each recovery exactly once; re-thrown
+// *PanicError values must be passed through, not rewrapped.
+func NewPanicError(frag string, value any, stack []byte) *PanicError {
+	panicsRecovered.Inc()
+	return &PanicError{Fragment: frag, Value: value, Stack: stack}
+}
+
 // protect runs fn, converting a panic into a *PanicError attributed to
 // frag.
 func protect(frag string, fn func() error) (err error) {
@@ -70,7 +109,7 @@ func protect(frag string, fn func() error) (err error) {
 				err = pe
 				return
 			}
-			err = &PanicError{Fragment: frag, Value: r, Stack: debug.Stack()}
+			err = NewPanicError(frag, r, debug.Stack())
 		}
 	}()
 	return fn()
@@ -207,6 +246,7 @@ func (e *Env) Charge(bytes int64) error {
 	}
 	e.allocated += bytes
 	if e.lim.MaxBytes > 0 && e.allocated > e.lim.MaxBytes {
+		exhaustedBytes.Inc()
 		return fmt.Errorf("exec: query needs %d buffer bytes, budget is %d: %w",
 			e.allocated, e.lim.MaxBytes, ErrResourceExhausted)
 	}
@@ -343,6 +383,7 @@ func RunContext(ctx context.Context, k *kernel.Kernel, env *Env, workers int, st
 		}
 		if err := RunFragmentContext(ctx, f, env, workers, fs); err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				NoteDeadline(env.lim, err)
 				return err
 			}
 			return fmt.Errorf("exec: fragment %s: %w", f.Name, err)
@@ -373,6 +414,7 @@ func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, worke
 		defer func() { fs.Wall = time.Since(start) }()
 	}
 	if env.lim.MaxExtent > 0 && f.Extent > env.lim.MaxExtent {
+		exhaustedExtent.Inc()
 		return fmt.Errorf("exec: fragment %s extent %d exceeds MaxExtent %d: %w",
 			f.Name, f.Extent, env.lim.MaxExtent, ErrResourceExhausted)
 	}

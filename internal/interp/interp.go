@@ -81,7 +81,9 @@ func RunContext(ctx context.Context, p *core.Program, st Storage) (res *Result, 
 // backend's fused fragments are measured against. The returned trace is
 // owned by the caller.
 func RunTracedContext(ctx context.Context, p *core.Program, st Storage) (*Result, *trace.Trace, error) {
-	return runContext(ctx, p, st, &trace.Trace{Backend: "interpreted"})
+	// A context-carried observer receives each statement's step as it
+	// completes (the diagnostics server's live query progress).
+	return runContext(ctx, p, st, &trace.Trace{Backend: "interpreted", OnStep: trace.ObserverFrom(ctx)})
 }
 
 func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trace) (res *Result, _ *trace.Trace, err error) {
@@ -90,6 +92,7 @@ func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trac
 	}
 	trace.CountQuery()
 	start := time.Now()
+	defer func() { trace.ObserveQueryWall(time.Since(start)) }()
 	cur := -1
 	defer func() {
 		if r := recover(); r != nil {
@@ -97,10 +100,8 @@ func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trac
 				res, err = nil, e.err
 				return
 			}
-			res, err = nil, &exec.PanicError{
-				Fragment: fmt.Sprintf("interp stmt %d", cur),
-				Value:    r, Stack: debug.Stack(),
-			}
+			res, err = nil, exec.NewPanicError(
+				fmt.Sprintf("interp stmt %d", cur), r, debug.Stack())
 		}
 	}()
 	e := &evaluator{st: st, vals: make([]*vector.Vector, len(p.Stmts))}

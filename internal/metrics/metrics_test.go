@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden locks in the exact exposition format: family
+// ordering, HELP/TYPE lines, label rendering, histogram bucket lines.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("zz_last_total", "Sorted last despite registration order.")
+	c.Add(3)
+
+	v := r.CounterVec("app_errors_total", "Errors by kind.", "kind")
+	v.With("bytes").Add(2)
+	v.With("deadline") // registered but never incremented: renders as 0
+	v.With("extent").Inc()
+
+	g := r.Gauge("app_temperature", "A settable value.")
+	g.Set(36.6)
+
+	r.GaugeFunc("app_active", "Scrape-time value.", func() float64 { return 7 })
+
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // le=0.01
+	h.Observe(0.01)  // boundary: inclusive, le=0.01
+	h.Observe(0.5)   // le=1
+	h.Observe(3)     // +Inf
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP app_active Scrape-time value.
+# TYPE app_active gauge
+app_active 7
+# HELP app_errors_total Errors by kind.
+# TYPE app_errors_total counter
+app_errors_total{kind="bytes"} 2
+app_errors_total{kind="deadline"} 0
+app_errors_total{kind="extent"} 1
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.01"} 2
+app_latency_seconds_bucket{le="0.1"} 2
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 3.515
+app_latency_seconds_count 4
+# HELP app_temperature A settable value.
+# TYPE app_temperature gauge
+app_temperature 36.6
+# HELP zz_last_total Sorted last despite registration order.
+# TYPE zz_last_total counter
+zz_last_total 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBuckets pins the bucket-boundary math: le is inclusive,
+// observations beyond the last bound land in +Inf, cumulative counts and
+// sum/count are exact.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "x", []float64{1, 2, 4})
+
+	obs := []float64{0, 1, 1.0000001, 2, 2.5, 4, 4.0001, 100}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	// raw (non-cumulative) expectations per bucket: le=1: {0,1}, le=2:
+	// {1.0000001,2}, le=4: {2.5,4}, +Inf: {4.0001,100}
+	wantRaw := []int64{2, 2, 2, 2}
+	for i, w := range wantRaw {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: got %d observations, want %d", i, got, w)
+		}
+	}
+	if h.Count() != int64(len(obs)) {
+		t.Errorf("Count() = %d, want %d", h.Count(), len(obs))
+	}
+	var sum float64
+	for _, v := range obs {
+		sum += v
+	}
+	if math.Abs(h.Sum()-sum) > 1e-9 {
+		t.Errorf("Sum() = %v, want %v", h.Sum(), sum)
+	}
+
+	// Default buckets are used when no bounds are given and must ascend.
+	d := r.Histogram("d", "x", nil)
+	if len(d.bounds) != len(DefBuckets) {
+		t.Fatalf("default buckets not applied")
+	}
+}
+
+// TestIdempotentRegistration verifies same-name registration returns the
+// same collector and conflicting types panic.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "x")
+	b := r.Counter("c_total", "x")
+	if a != b {
+		t.Errorf("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("counters not shared")
+	}
+
+	v1 := r.CounterVec("v_total", "x", "k")
+	v2 := r.CounterVec("v_total", "x", "k")
+	v1.With("a").Add(5)
+	if v2.With("a").Value() != 5 {
+		t.Errorf("vec children not shared")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Errorf("type conflict did not panic")
+		}
+	}()
+	r.Gauge("c_total", "x")
+}
+
+// TestFuncReplacement: func-backed collectors re-bind on re-registration
+// (a restarted server replaces its closure instead of panicking).
+func TestFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", "x", func() float64 { return 1 })
+	r.GaugeFunc("g", "x", func() float64 { return 2 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "g 2\n") {
+		t.Errorf("closure not replaced:\n%s", sb.String())
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// must not corrupt the exposition format.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("e_total", "x", "q").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `e_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaping wrong:\n%s\nwant line: %s", sb.String(), want)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, one vec child and one
+// histogram from many goroutines while scraping — the -race gate for the
+// registry's lock-free update paths.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "x")
+	v := r.CounterVec("cv_total", "x", "k")
+	h := r.Histogram("ch", "x", []float64{1, 10})
+
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				v.With("a").Inc()
+				h.Observe(float64(i % 12))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.Value() != workers*each {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if v.With("a").Value() != workers*each {
+		t.Errorf("vec child = %d, want %d", v.With("a").Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*each)
+	}
+}
+
+// TestRuntimeSampler: the curated runtime metrics register and produce
+// plausible values.
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterRuntime()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, name := range []string{"go_goroutines", "go_heap_objects_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("runtime metric %s missing:\n%s", name, out)
+		}
+	}
+	if readRuntime("/sched/goroutines:goroutines") < 1 {
+		t.Errorf("goroutine count implausible")
+	}
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	rm "runtime/metrics"
+)
+
+// runtimeMetrics is the curated slice of runtime/metrics the sampler
+// exposes — the handful an operator of a query daemon actually watches:
+// goroutine count, heap pressure, GC activity, scheduler contention.
+// Each is read individually at scrape time (a runtime/metrics read is a
+// few hundred nanoseconds; nothing is sampled between scrapes).
+var runtimeMetrics = []struct {
+	src  string // runtime/metrics key
+	name string // exposed metric name
+	help string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of memory occupied by live heap objects plus not-yet-reclaimed dead ones."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped into the process by the Go runtime."},
+	{"/gc/heap/goal:bytes", "go_gc_heap_goal_bytes", "Heap size target of the end of the current GC cycle."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles."},
+	{"/gc/heap/allocs:bytes", "go_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap."},
+	{"/cpu/classes/total:cpu-seconds", "go_cpu_seconds_total", "Total available CPU time, as estimated by the Go scheduler."},
+	{"/sync/mutex/wait/total:seconds", "go_mutex_wait_seconds_total", "Cumulative time goroutines have spent blocked on mutexes."},
+}
+
+// RegisterRuntime registers scrape-time collectors over runtime/metrics
+// for the curated metric set above. Keys the running toolchain does not
+// provide are skipped, so the set may shrink on older runtimes but never
+// errors. Cumulative runtime metrics register as counters, instantaneous
+// ones as gauges.
+func (r *Registry) RegisterRuntime() {
+	descs := map[string]rm.Description{}
+	for _, d := range rm.All() {
+		descs[d.Name] = d
+	}
+	for _, m := range runtimeMetrics {
+		d, ok := descs[m.src]
+		if !ok || (d.Kind != rm.KindUint64 && d.Kind != rm.KindFloat64) {
+			continue
+		}
+		src := m.src
+		fn := func() float64 { return readRuntime(src) }
+		if d.Cumulative {
+			r.CounterFunc(m.name, m.help, fn)
+		} else {
+			r.GaugeFunc(m.name, m.help, fn)
+		}
+	}
+}
+
+// readRuntime samples one runtime/metrics value as a float.
+func readRuntime(name string) float64 {
+	s := [1]rm.Sample{{Name: name}}
+	rm.Read(s[:])
+	switch s[0].Value.Kind() {
+	case rm.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case rm.KindFloat64:
+		return s[0].Value.Float64()
+	}
+	return 0
+}

@@ -62,6 +62,12 @@ type Engine struct {
 	// executes (EXPLAIN tooling; multi-phase queries deliver one plan per
 	// phase). Interpreted queries compile nothing and deliver none.
 	PlanSink func(*compile.Plan)
+	// BaseContext, when set, is the context Run (the context-less Runner
+	// entry point) executes under. Callers that drive ctx-less call paths
+	// — the TPC-H QueryFuncs, the benchmark drivers — set it on a
+	// per-request engine copy so cancellation and deadlines still thread
+	// through. RunContext ignores it: an explicit context wins.
+	BaseContext context.Context
 }
 
 // Catalog implements Runner.
@@ -70,7 +76,11 @@ func (e *Engine) Catalog() *storage.Catalog { return e.Cat }
 // Run lowers, executes and assembles one query. Stats is nil unless
 // CollectStats is set and the backend is a compiling one.
 func (e *Engine) Run(q Query) (res *Result, stats *exec.Stats, err error) {
-	return e.RunContext(context.Background(), q)
+	ctx := context.Background()
+	if e.BaseContext != nil {
+		ctx = e.BaseContext
+	}
+	return e.RunContext(ctx, q)
 }
 
 // RunContext is Run with cooperative cancellation and the engine's
@@ -122,6 +132,10 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *e
 			ires, ierr = interp.RunContext(ctx, prog, e.Cat)
 		}
 		if ierr != nil {
+			// The compiling backends count governor-deadline aborts inside
+			// the plan runner; the interpreter has no governor of its own,
+			// so the engine accounts for it here.
+			exec.NoteDeadline(e.Limits, ierr)
 			return nil, nil, ierr
 		}
 		for _, o := range l.outs {

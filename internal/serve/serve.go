@@ -1,0 +1,341 @@
+// Package serve is the long-running query daemon behind cmd/voodoo-serve:
+// TPC-H tables are loaded once, SQL arrives over HTTP, and every request
+// runs through the relational engine under the exec resource governor's
+// per-request Limits, instrumented end to end — queue wait under the
+// admission semaphore, SQL parse+plan time, execution time, rows
+// returned — with each in-flight query registered in the diagnostics
+// query registry (live per-step progress, cancel action) and every
+// finished query competing for the slow-query ring.
+//
+// The HTTP surface:
+//
+//	POST /query            SQL in the request body
+//	GET  /query?sql=...    SQL in the query string
+//	GET  /query?q=N        prebuilt TPC-H query N
+//	GET  /                 usage text
+//
+// plus the full diagnostics mux (see package diag): /metrics,
+// /debug/pprof/*, /debug/vars, /healthz, /queries, /queries/slow,
+// /queries/cancel.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/diag"
+	"voodoo/internal/exec"
+	"voodoo/internal/metrics"
+	"voodoo/internal/rel"
+	"voodoo/internal/sql"
+	"voodoo/internal/storage"
+	"voodoo/internal/tpch"
+	"voodoo/internal/trace"
+)
+
+// Config configures a query server.
+type Config struct {
+	// Cat is the loaded catalog every query runs against.
+	Cat *storage.Catalog
+	// Backend and Opt configure the engine (default: compiled).
+	Backend rel.Backend
+	Opt     compile.Options
+	// Limits is the per-request resource governor template. Its Deadline
+	// field is ignored; Timeout below is applied per request instead.
+	Limits exec.Limits
+	// Timeout bounds each request's wall clock, queue wait included
+	// (0 = unlimited).
+	Timeout time.Duration
+	// MaxConcurrent bounds the queries executing at once; excess requests
+	// queue (and their wait is measured). 0 = GOMAXPROCS.
+	MaxConcurrent int
+	// SlowQueries is the slow-query ring capacity (0 = 16).
+	SlowQueries int
+	// Registry receives the server's metrics (nil = metrics.Default).
+	Registry *metrics.Registry
+}
+
+// Server executes SQL over HTTP against one catalog.
+type Server struct {
+	cfg  Config
+	reg  *metrics.Registry
+	qreg *diag.QueryRegistry
+	sem  chan struct{}
+
+	mQueue   *metrics.Histogram
+	mCompile *metrics.Histogram
+	mExec    *metrics.Histogram
+	mReqs    *metrics.CounterVec
+	mRows    *metrics.Counter
+}
+
+// New builds a Server and registers its metrics.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.Default
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:  cfg,
+		reg:  cfg.Registry,
+		qreg: diag.NewQueryRegistry(cfg.SlowQueries),
+		sem:  make(chan struct{}, cfg.MaxConcurrent),
+
+		mQueue: cfg.Registry.Histogram("voodoo_http_queue_seconds",
+			"Time requests wait for an execution slot under the admission semaphore.", nil),
+		mCompile: cfg.Registry.Histogram("voodoo_sql_compile_seconds",
+			"Time to parse and plan the request's SQL.", nil),
+		mExec: cfg.Registry.Histogram("voodoo_query_exec_seconds",
+			"Time to execute a request's query (lowering, compilation and run).", nil),
+		mReqs: cfg.Registry.CounterVec("voodoo_http_requests_total",
+			"Query requests served, by HTTP status code.", "code"),
+		mRows: cfg.Registry.Counter("voodoo_rows_returned_total",
+			"Result rows returned to HTTP clients."),
+	}
+	cfg.Registry.GaugeFunc("voodoo_active_queries",
+		"Queries currently executing or unwinding.",
+		func() float64 { return float64(s.qreg.ActiveCount()) })
+	return s
+}
+
+// QueryRegistry exposes the live query registry (the diagnostics mux and
+// tests share it).
+func (s *Server) QueryRegistry() *diag.QueryRegistry { return s.qreg }
+
+// Mux returns the server's full HTTP surface: the query endpoints
+// mounted over the diagnostics mux.
+func (s *Server) Mux() *http.ServeMux {
+	mux := diag.NewMux(s.reg, s.qreg)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/{$}", s.handleIndex)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `voodoo-serve: SQL over HTTP against a TPC-H catalog
+
+  POST /query            SQL in the request body
+  GET  /query?sql=...    SQL in the query string
+  GET  /query?q=6        prebuilt TPC-H query 6
+
+  GET  /metrics          Prometheus metrics
+  GET  /queries          in-flight queries (live progress) + slow-query summaries
+  GET  /queries/slow     slowest queries with full traces
+  POST /queries/cancel?id=N
+  GET  /debug/pprof/     profiling
+  GET  /debug/vars       expvar
+  GET  /healthz          liveness
+`)
+}
+
+// queryResponse is the JSON result of one /query request.
+type queryResponse struct {
+	Cols  []string         `json:"cols"`
+	Rows  []map[string]any `json:"rows"`
+	Stats queryStats       `json:"stats"`
+}
+
+// queryStats is the per-request instrumentation echoed to the client;
+// the same numbers feed the server's histograms.
+type queryStats struct {
+	QueueNS   int64 `json:"queue_ns"`
+	CompileNS int64 `json:"compile_ns"`
+	ExecNS    int64 `json:"exec_ns"`
+	Rows      int   `json:"rows"`
+}
+
+type queryError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "method", fmt.Errorf("use GET or POST"))
+		return
+	}
+	arrived := time.Now()
+	ctx := r.Context()
+	var deadline time.Time
+	if s.cfg.Timeout > 0 {
+		deadline = arrived.Add(s.cfg.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+
+	src, qnum, err := s.requestQuery(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "parse", err)
+		return
+	}
+
+	// Admission: wait for an execution slot; the wait is the queue-time
+	// histogram and counts against the request deadline.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.fail(w, http.StatusServiceUnavailable, "queue",
+			fmt.Errorf("timed out waiting for an execution slot: %w", ctx.Err()))
+		return
+	}
+	queueWait := time.Since(arrived)
+	s.mQueue.Observe(queueWait.Seconds())
+
+	// Compile: parse and plan the SQL (prebuilt TPC-H queries lower
+	// inside the engine and report zero here).
+	var q rel.Query
+	var qf tpch.QueryFunc
+	compileStart := time.Now()
+	if qnum > 0 {
+		if qf, err = tpch.Query(qnum); err != nil {
+			s.fail(w, http.StatusBadRequest, "parse", err)
+			return
+		}
+		src = fmt.Sprintf("TPC-H Q%d", qnum)
+	} else {
+		stmt, perr := sql.Parse(src)
+		if perr != nil {
+			s.fail(w, http.StatusBadRequest, "parse", perr)
+			return
+		}
+		if q, err = sql.Plan(stmt, s.cfg.Cat); err != nil {
+			s.fail(w, http.StatusBadRequest, "plan", err)
+			return
+		}
+		q.Name = src
+	}
+	compileDur := time.Since(compileStart)
+	s.mCompile.Observe(compileDur.Seconds())
+
+	// Execute under a cancellable context registered for the /queries
+	// cancel action, with completed trace steps streaming into the
+	// registry entry as live progress.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	aq := s.qreg.Begin(src, cancel)
+	ctx = trace.WithObserver(ctx, aq.Observe)
+
+	var traces []*trace.Trace
+	e := &rel.Engine{
+		Cat: s.cfg.Cat, Backend: s.cfg.Backend, Opt: s.cfg.Opt,
+		Limits:      s.cfg.Limits,
+		BaseContext: ctx,
+		TraceSink:   func(t *trace.Trace) { traces = append(traces, t) },
+	}
+	e.Limits.Deadline = deadline
+
+	execStart := time.Now()
+	var res *rel.Result
+	if qf != nil {
+		res, _, err = qf(e)
+	} else {
+		res, _, err = e.RunContext(ctx, q)
+	}
+	execDur := time.Since(execStart)
+	s.qreg.Finish(aq, traces, err)
+	s.mExec.Observe(execDur.Seconds())
+
+	if err != nil {
+		code, kind := statusFor(err)
+		s.fail(w, code, kind, err)
+		return
+	}
+
+	resp := queryResponse{Cols: res.Cols, Rows: make([]map[string]any, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		out := make(map[string]any, len(row))
+		for _, c := range res.Cols {
+			v := row[c]
+			// Dictionary-encoded columns decode back to their strings.
+			if str := res.Decode(c, v); str != fmt.Sprintf("%g", v) {
+				out[c] = str
+			} else {
+				out[c] = v
+			}
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	resp.Stats = queryStats{
+		QueueNS: queueWait.Nanoseconds(), CompileNS: compileDur.Nanoseconds(),
+		ExecNS: execDur.Nanoseconds(), Rows: len(resp.Rows),
+	}
+	s.mRows.Add(int64(len(resp.Rows)))
+	s.count(http.StatusOK)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requestQuery extracts the SQL text or TPC-H query number from the
+// request.
+func (s *Server) requestQuery(r *http.Request) (src string, qnum int, err error) {
+	if qs := r.URL.Query().Get("q"); qs != "" {
+		n, err := strconv.Atoi(qs)
+		if err != nil || n <= 0 {
+			return "", 0, fmt.Errorf("malformed TPC-H query number %q", qs)
+		}
+		return "", n, nil
+	}
+	src = r.URL.Query().Get("sql")
+	if src == "" && r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", 0, fmt.Errorf("reading request body: %w", err)
+		}
+		src = string(body)
+	}
+	if strings.TrimSpace(src) == "" {
+		return "", 0, fmt.Errorf("no query given (POST a SQL body, or pass ?sql= or ?q=N)")
+	}
+	return src, 0, nil
+}
+
+// StatusClientClosedRequest is nginx's non-standard 499: the query was
+// cancelled (by the client going away or by the /queries/cancel action)
+// rather than failing.
+const StatusClientClosedRequest = 499
+
+// statusFor maps an execution error to an HTTP status and a kind label.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, exec.ErrResourceExhausted):
+		return http.StatusTooManyRequests, "resource"
+	default:
+		var pe *exec.PanicError
+		if errors.As(err, &pe) {
+			return http.StatusInternalServerError, "panic"
+		}
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, kind string, err error) {
+	s.count(code)
+	writeJSON(w, code, queryError{Error: err.Error(), Kind: kind})
+}
+
+func (s *Server) count(code int) { s.mReqs.With(strconv.Itoa(code)).Inc() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort to a dead client
+}

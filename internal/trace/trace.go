@@ -12,12 +12,15 @@
 package trace
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"voodoo/internal/metrics"
 )
 
 // Step kinds. Fragment and bulk steps come from the compiling backend;
@@ -100,12 +103,41 @@ type Trace struct {
 	MaterializedBytes int64 `json:"materialized_bytes"`
 	FoldRuns          int64 `json:"fold_runs"`
 	ScatterItems      int64 `json:"scatter_items"`
+
+	// OnStep, when set, receives each step synchronously as Add records
+	// it — while the query is still running. This is the live-progress
+	// feed of the diagnostics server's /queries endpoint. The observer
+	// must be cheap and must not retain the Step's slices past the call.
+	OnStep Observer `json:"-"`
 }
 
-// Add appends a step, assigning its index.
+// Observer receives completed steps of an in-flight query. The Run*Traced
+// entry points pick it up from their context (WithObserver), so callers
+// that only have a context — an HTTP request serving a query — can watch
+// progress without new plumbing through the backends.
+type Observer func(Step)
+
+type observerKey struct{}
+
+// WithObserver returns a context carrying o.
+func WithObserver(ctx context.Context, o Observer) context.Context {
+	return context.WithValue(ctx, observerKey{}, o)
+}
+
+// ObserverFrom extracts the step observer carried by ctx, or nil.
+func ObserverFrom(ctx context.Context) Observer {
+	o, _ := ctx.Value(observerKey{}).(Observer)
+	return o
+}
+
+// Add appends a step, assigning its index, and streams it to the
+// trace's observer when one is attached.
 func (t *Trace) Add(s Step) {
 	s.Index = len(t.Steps)
 	t.Steps = append(t.Steps, s)
+	if t.OnStep != nil {
+		t.OnStep(s)
+	}
 }
 
 // Finish totals the steps, records the query wall time, and folds the
@@ -251,6 +283,38 @@ func Snapshot() map[string]int64 {
 	}
 }
 
+// queryWall is the always-on end-to-end latency histogram: exactly one
+// observation per program execution, made by the backends next to their
+// CountQuery call. Together with the two always-on atomic counters this
+// is the entire hot-path cost of process observability.
+var queryWall = metrics.NewHistogram("voodoo_query_wall_seconds",
+	"End-to-end wall time of each executed program (every backend, traced or not).",
+	metrics.DefBuckets)
+
+// ObserveQueryWall records one query's wall time in the always-on
+// latency histogram. Backends call it once per execution.
+func ObserveQueryWall(d time.Duration) { queryWall.Observe(d.Seconds()) }
+
 func init() {
+	// The atomics in global are the single source of truth. expvar keeps
+	// its historical "voodoo" map as a read-only view, and the Prometheus
+	// registry bridges the same atomics through scrape-time closures —
+	// no counter is ever double-counted.
 	expvar.Publish("voodoo", expvar.Func(func() any { return Snapshot() }))
+	for _, b := range []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"voodoo_queries_total", "Programs executed (every backend, traced or not).", &global.Queries},
+		{"voodoo_fragments_total", "Kernel fragments executed.", &global.Fragments},
+		{"voodoo_traced_queries_total", "Programs executed with tracing enabled.", &global.TracedQueries},
+		{"voodoo_items_total", "Loop items executed by traced queries.", &global.Items},
+		{"voodoo_bytes_allocated_total", "Buffer bytes allocated by traced queries.", &global.BytesAllocated},
+		{"voodoo_bytes_materialized_total", "Bytes materialized at fragment seams by traced queries.", &global.BytesMaterialized},
+		{"voodoo_fold_runs_total", "Aggregation runs produced by traced queries.", &global.FoldRuns},
+		{"voodoo_scatter_items_total", "Elements moved by materialized scatters in traced queries.", &global.ScatterItems},
+	} {
+		v := b.v
+		metrics.NewCounterFunc(b.name, b.help, func() float64 { return float64(v.Load()) })
+	}
 }
