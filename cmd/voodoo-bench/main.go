@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"voodoo/internal/bench"
@@ -78,10 +79,15 @@ func main() {
 	fmt.Fprintf(w, "voodoo-bench: N=%d SF=%g seed=%d\n\n", *n, *sf, *seed)
 	for _, t := range targets {
 		start := time.Now()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		if err := run(w, t, cfg); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(w, "[%s regenerated in %.1fs]\n\n", t, time.Since(start).Seconds())
+		runtime.ReadMemStats(&after)
+		fmt.Fprintf(w, "[%s regenerated in %.1fs, %d allocs, %.1f MB allocated]\n\n",
+			t, time.Since(start).Seconds(),
+			after.Mallocs-before.Mallocs, float64(after.TotalAlloc-before.TotalAlloc)/1e6)
 	}
 }
 
@@ -200,6 +206,11 @@ func runCI(outPath, basePath string, writeBaseline bool) error {
 	violations := bench.CompareCI(rep, &base, 0.25)
 	for _, v := range violations {
 		fmt.Fprintln(os.Stderr, "ci: REGRESSION:", v)
+	}
+	// Allocation counters gate softly: a warning flags the growth but a
+	// wobbling GC never breaks the build.
+	for _, v := range bench.CompareCIAllocs(rep, &base, 0.25) {
+		fmt.Fprintln(os.Stderr, "ci: WARNING:", v)
 	}
 	if len(violations) > 0 {
 		return fmt.Errorf("%d benchmark medians regressed beyond tolerance", len(violations))

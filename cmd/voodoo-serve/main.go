@@ -9,7 +9,7 @@
 //	voodoo-serve [-addr :8080] [-diag-addr ADDR]
 //	             [-sf SF] [-data DIR] [-backend compiled|interp|bulk] [-predicate]
 //	             [-timeout 30s] [-max-mem 1g] [-max-extent N]
-//	             [-concurrency N] [-slow N]
+//	             [-concurrency N] [-slow N] [-plan-cache N] [-no-pool]
 //
 // Examples:
 //
@@ -55,6 +55,8 @@ func main() {
 	maxExtent := flag.Int("max-extent", 0, "per-request fragment extent cap (0 = unlimited)")
 	concurrency := flag.Int("concurrency", 0, "max queries executing at once (0 = GOMAXPROCS); excess requests queue")
 	slowN := flag.Int("slow", 16, "retain full traces of the N slowest queries")
+	planCache := flag.Int("plan-cache", 0, "compiled-plan cache capacity in entries (0 = 256, negative disables)")
+	noPool := flag.Bool("no-pool", false, "disable the kernel-buffer pool (each query allocates fresh)")
 	flag.Parse()
 
 	var limits exec.Limits
@@ -89,6 +91,8 @@ func main() {
 		Timeout:       *timeout,
 		MaxConcurrent: *concurrency,
 		SlowQueries:   *slowN,
+		PlanCache:     *planCache,
+		NoPool:        *noPool,
 	})
 
 	if *diagAddr != "" {

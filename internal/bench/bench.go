@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -160,11 +161,23 @@ func runProgram(p *core.Program, st interp.Storage, opt compile.Options) (*exec.
 	return &res.Stats, res.Values, nil
 }
 
+// benchPool recycles kernel buffers across the thousands of measurement
+// runs a figure regeneration performs. Only priced draws on it: its
+// values are never inspected, so the working memory can be released the
+// moment the stats are extracted.
+var benchPool = vector.NewPool(0)
+
 // priced runs a program and prices it on a device model.
 func priced(p *core.Program, st interp.Storage, opt compile.Options, m *device.Model) (float64, error) {
-	stats, _, err := runProgram(p, st, opt)
+	plan, err := compile.Compile(p, st, opt)
 	if err != nil {
 		return 0, err
 	}
-	return m.Time(stats), nil
+	res, err := plan.RunWith(context.Background(), compile.RunOpts{Pool: benchPool, CollectStats: true})
+	if err != nil {
+		return 0, err
+	}
+	t := m.Time(&res.Stats)
+	res.Release()
+	return t, nil
 }

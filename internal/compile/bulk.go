@@ -291,8 +291,8 @@ func (c *compiler) spillPartition(pi *partInfo) int {
 		inputs:  []converter{valsConv, pivConv},
 		outBufs: []int{posBuf},
 		attrs:   []string{"pos"},
-		evalFn: func(args []*vector.Vector) (*vector.Vector, error) {
-			return countingSortPositions(args[0].SingleCol(), args[1].SingleCol())
+		evalFn: func(args []*vector.Vector, ar *vector.Arena) (*vector.Vector, error) {
+			return countingSortPositions(args[0].SingleCol(), args[1].SingleCol(), ar)
 		},
 		statsFn: func(args []*vector.Vector, out *vector.Vector) exec.FragStats {
 			n := int64(args[0].Len())
@@ -307,7 +307,7 @@ func (c *compiler) spillPartition(pi *partInfo) int {
 
 // countingSortPositions implements Partition's semantics: stable positions
 // that group values by "number of pivots strictly below".
-func countingSortPositions(vals, pivots *vector.Column) (*vector.Vector, error) {
+func countingSortPositions(vals, pivots *vector.Column, ar *vector.Arena) (*vector.Vector, error) {
 	k := pivots.Len()
 	pv := make([]int64, k)
 	for i := range pv {
@@ -331,7 +331,7 @@ func countingSortPositions(vals, pivots *vector.Column) (*vector.Vector, error) 
 		starts[p] = sum
 		sum += cnt
 	}
-	out := make([]int64, n)
+	out := ar.Ints(n)
 	for i := 0; i < n; i++ {
 		out[i] = int64(starts[pid[i]])
 		starts[pid[i]]++
@@ -496,8 +496,10 @@ func (c *compiler) scatterFragment(src *desc, pos attr, n2 int, parallel bool) *
 }
 
 // miniInterp evaluates one operator with interpreter semantics over
-// in-memory vectors.
-func miniInterp(op core.Op, kp []string, outNames []string, stmtTmpl *core.Stmt, args ...*vector.Vector) (*vector.Vector, error) {
+// in-memory vectors. The arena, when non-nil, is the surrounding plan
+// run's: the mini-program's output is adopted into kernel buffers, so its
+// storage must live exactly as long as the run.
+func miniInterp(op core.Op, kp []string, outNames []string, stmtTmpl *core.Stmt, ar *vector.Arena, args ...*vector.Vector) (*vector.Vector, error) {
 	var p core.Program
 	st := interp.MemStorage{}
 	refs := make([]core.Ref, len(args))
@@ -512,7 +514,7 @@ func miniInterp(op core.Op, kp []string, outNames []string, stmtTmpl *core.Stmt,
 		s.Args = refs
 	}
 	target := p.Add(s)
-	res, err := interp.Run(&p, st)
+	res, err := interp.RunArena(&p, st, ar)
 	if err != nil {
 		return nil, err
 	}
@@ -575,8 +577,8 @@ func (c *compiler) bulk(s *core.Stmt) *desc {
 		inputs:  inputs,
 		outBufs: outBufs,
 		attrs:   names,
-		evalFn: func(args []*vector.Vector) (*vector.Vector, error) {
-			return miniInterp(s.Op, nil, nil, &tmpl, args...)
+		evalFn: func(args []*vector.Vector, ar *vector.Arena) (*vector.Vector, error) {
+			return miniInterp(s.Op, nil, nil, &tmpl, ar, args...)
 		},
 		statsFn: bulkStats(s.Op.String(), random),
 	})

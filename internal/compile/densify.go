@@ -69,7 +69,7 @@ func (c *compiler) expandAtRuntime(d *desc) *desc {
 		inputs:  []converter{conv},
 		outBufs: outBufs,
 		attrs:   names,
-		evalFn: func(args []*vector.Vector) (*vector.Vector, error) {
+		evalFn: func(args []*vector.Vector, _ *vector.Arena) (*vector.Vector, error) {
 			return args[0], nil
 		},
 		statsFn: bulkStats("expand", false),

@@ -42,11 +42,41 @@ type output struct {
 	conv converter
 }
 
+// RunOpts are the per-run execution options of a plan. Plans are
+// immutable after Compile and safe to run concurrently; everything that
+// varies per execution — the governor limits, the buffer pool, stats
+// collection — travels here instead of in plan fields, which is what
+// makes a cached plan shareable across requests.
+type RunOpts struct {
+	// Limits is the per-run resource governor (see exec.Limits).
+	Limits exec.Limits
+	// Pool, when non-nil, supplies the run's kernel buffers and seam
+	// materializations from recycled memory; the run's arena is attached
+	// to the Result and returned to the pool by Result.Release.
+	Pool *vector.Pool
+	// CollectStats enables instruction/memory/branch event counting.
+	CollectStats bool
+}
+
 // Result holds root values (in the interpreter's padded layout) and, when
 // requested, the execution event counts.
 type Result struct {
 	Values map[core.Ref]*vector.Vector
 	Stats  exec.Stats
+
+	arena *vector.Arena
+}
+
+// Release returns the run's pooled buffers to the pool. Values becomes
+// invalid — callers must finish reading (or copy out) the root vectors
+// first. Release is nil-safe, idempotent, and a no-op for unpooled runs.
+func (r *Result) Release() {
+	if r == nil || r.arena == nil {
+		return
+	}
+	r.arena.Release()
+	r.arena = nil
+	r.Values = nil // reads after Release should fail loudly, not read recycled memory
 }
 
 // runtime is the mutable state of one plan execution.
@@ -55,6 +85,7 @@ type runtime struct {
 	ctx   context.Context
 	env   *exec.Env
 	stats *exec.Stats
+	arena *vector.Arena
 }
 
 type step interface {
@@ -70,7 +101,7 @@ type bindStep struct {
 }
 
 func (s *bindStep) run(rt *runtime) error {
-	rt.env.Bufs[s.buf] = exec.FromColumn(s.col)
+	rt.env.Bufs[s.buf] = exec.FromColumnArena(s.col, rt.arena)
 	return nil
 }
 
@@ -107,7 +138,7 @@ type bulkStep struct {
 	inputs  []converter
 	outBufs []int    // one per output attribute, in attrs order
 	attrs   []string // output attribute names
-	evalFn  func(args []*vector.Vector) (*vector.Vector, error)
+	evalFn  func(args []*vector.Vector, ar *vector.Arena) (*vector.Vector, error)
 	statsFn func(args []*vector.Vector, out *vector.Vector) exec.FragStats
 }
 
@@ -120,7 +151,7 @@ func (s *bulkStep) run(rt *runtime) error {
 		}
 		args[i] = v
 	}
-	out, err := s.evalFn(args)
+	out, err := s.evalFn(args, rt.arena)
 	if err != nil {
 		return fmt.Errorf("bulk %s: %w", s.name, err)
 	}
@@ -129,7 +160,7 @@ func (s *bulkStep) run(rt *runtime) error {
 		if col == nil {
 			return fmt.Errorf("bulk %s: missing output attribute %q", s.name, name)
 		}
-		b := exec.FromColumn(col)
+		b := exec.FromColumnArena(col, rt.arena)
 		if err := rt.env.Charge(b.Bytes()); err != nil {
 			return fmt.Errorf("bulk %s: %w", s.name, err)
 		}
@@ -154,6 +185,11 @@ func (s *persistStep) run(rt *runtime) error {
 	if err != nil {
 		return err
 	}
+	if rt.arena != nil {
+		// Persisted vectors outlive the run; copy them off the arena so
+		// releasing the query's buffers cannot corrupt storage.
+		v = vector.UnpooledCopy(v)
+	}
 	return rt.plan.st.PersistVector(s.name, v)
 }
 
@@ -170,7 +206,14 @@ func (p *Plan) Run() (*Result, error) {
 // in any step is recovered into a *exec.PanicError so one bad kernel
 // fails its query instead of the process.
 func (p *Plan) RunContext(ctx context.Context) (*Result, error) {
-	res, _, err := p.run(ctx, nil)
+	return p.RunWith(ctx, RunOpts{Limits: p.Limits, CollectStats: p.CollectStats})
+}
+
+// RunWith executes the plan under per-run options, leaving the plan
+// itself untouched — the entry point for shared (cached) plans, which may
+// run concurrently with different limits, pools and stats settings.
+func (p *Plan) RunWith(ctx context.Context, ro RunOpts) (*Result, error) {
+	res, _, err := p.run(ctx, nil, ro)
 	return res, err
 }
 
@@ -180,6 +223,11 @@ func (p *Plan) RunContext(ctx context.Context) (*Result, error) {
 // trace is owned by the caller; tracing forces stats collection for this
 // run regardless of CollectStats.
 func (p *Plan) RunTracedContext(ctx context.Context) (*Result, *trace.Trace, error) {
+	return p.RunTracedWith(ctx, RunOpts{Limits: p.Limits, CollectStats: p.CollectStats})
+}
+
+// RunTracedWith is RunWith with per-step tracing.
+func (p *Plan) RunTracedWith(ctx context.Context, ro RunOpts) (*Result, *trace.Trace, error) {
 	backend := "compiled"
 	if p.opt.ForceBulk {
 		backend = "bulk-compiled"
@@ -192,28 +240,36 @@ func (p *Plan) RunTracedContext(ctx context.Context) (*Result, *trace.Trace, err
 	// A context-carried observer receives each step as it completes (the
 	// diagnostics server's live query progress).
 	tr.OnStep = trace.ObserverFrom(ctx)
-	return p.run(ctx, tr)
+	return p.run(ctx, tr, ro)
 }
 
-func (p *Plan) run(ctx context.Context, tr *trace.Trace) (_ *Result, _ *trace.Trace, err error) {
+func (p *Plan) run(ctx context.Context, tr *trace.Trace, ro RunOpts) (_ *Result, _ *trace.Trace, err error) {
 	trace.CountQuery()
 	start := time.Now()
 	defer func() {
 		trace.ObserveQueryWall(time.Since(start))
-		exec.NoteDeadline(p.Limits, err)
+		exec.NoteDeadline(ro.Limits, err)
 	}()
-	if d := p.Limits.Deadline; !d.IsZero() {
+	if d := ro.Limits.Deadline; !d.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, d)
 		defer cancel()
 	}
-	env, err := exec.NewEnvLimited(p.kern, p.Limits)
+	arena := ro.Pool.NewArena()
+	defer func() {
+		// A failed run has no Result to release through; recycle its
+		// buffers here so errors do not bleed the pool dry.
+		if err != nil {
+			arena.Release()
+		}
+	}()
+	env, err := exec.NewEnvPooled(p.kern, ro.Limits, arena)
 	if err != nil {
 		return nil, nil, err
 	}
-	rt := &runtime{plan: p, ctx: ctx, env: env}
-	res := &Result{Values: map[core.Ref]*vector.Vector{}}
-	if p.CollectStats || tr != nil {
+	rt := &runtime{plan: p, ctx: ctx, env: env, arena: arena}
+	res := &Result{Values: map[core.Ref]*vector.Vector{}, arena: arena}
+	if ro.CollectStats || tr != nil {
 		rt.stats = &res.Stats
 	}
 	for _, s := range p.steps {
@@ -387,9 +443,9 @@ func (c *compiler) converter(d *desc) converter {
 				compact := rt.env.Bufs[s.buf]
 				var col *vector.Column
 				if compact.Kind == vector.Int {
-					col = vector.NewEmptyInt(logicalN)
+					col = rt.arena.EmptyInt(logicalN)
 				} else {
-					col = vector.NewEmptyFloat(logicalN)
+					col = rt.arena.EmptyFloat(logicalN)
 				}
 				for r := 0; r < compact.Len(); r++ {
 					pos := r * stride
@@ -416,9 +472,9 @@ func (c *compiler) converter(d *desc) converter {
 				compact := rt.env.Bufs[s.buf]
 				var col *vector.Column
 				if compact.Kind == vector.Int {
-					col = vector.NewEmptyInt(logicalN)
+					col = rt.arena.EmptyInt(logicalN)
 				} else {
-					col = vector.NewEmptyFloat(logicalN)
+					col = rt.arena.EmptyFloat(logicalN)
 				}
 				pos := 0
 				for p := 0; p < compact.Len(); p++ {

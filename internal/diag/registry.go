@@ -52,6 +52,20 @@ type ActiveQuery struct {
 	items    atomic.Int64
 	matBytes atomic.Int64
 	lastStep atomic.Pointer[string]
+
+	planLookupNS atomic.Int64
+	compileNS    atomic.Int64
+	cachedPlan   atomic.Bool
+}
+
+// SetPlanTiming records how the query obtained its plan: the plan-cache
+// lookup time, the parse+plan time (zero on a cache hit), and whether the
+// plan came from the cache — so cached and uncached latencies stay
+// distinguishable in /queries and the slow-query ring.
+func (q *ActiveQuery) SetPlanTiming(lookupNS, compileNS int64, cached bool) {
+	q.planLookupNS.Store(lookupNS)
+	q.compileNS.Store(compileNS)
+	q.cachedPlan.Store(cached)
 }
 
 // ID returns the registry-assigned query id (the cancel handle).
@@ -89,6 +103,8 @@ func (r *QueryRegistry) Finish(q *ActiveQuery, traces []*trace.Trace, err error)
 	e := SlowQuery{
 		ID: q.id, SQL: q.sql, StartedAt: q.start, WallNS: wall.Nanoseconds(),
 		Items: q.items.Load(), MaterializedBytes: q.matBytes.Load(), Traces: traces,
+		PlanLookupNS: q.planLookupNS.Load(), CompileNS: q.compileNS.Load(),
+		CachedPlan: q.cachedPlan.Load(),
 	}
 	if err != nil {
 		e.Error = err.Error()
@@ -133,6 +149,11 @@ type QueryInfo struct {
 	LastStep          string `json:"last_step,omitempty"`
 	Items             int64  `json:"items"`
 	MaterializedBytes int64  `json:"materialized_bytes"`
+	// PlanLookupNS and CompileNS split plan acquisition: cache lookup
+	// versus parse+plan. CachedPlan marks a plan-cache hit (CompileNS 0).
+	PlanLookupNS int64 `json:"plan_lookup_ns"`
+	CompileNS    int64 `json:"compile_ns"`
+	CachedPlan   bool  `json:"cached_plan"`
 	// Cancel is the ready-to-use cancel action for this query.
 	Cancel string `json:"cancel"`
 }
@@ -153,6 +174,9 @@ func (r *QueryRegistry) Active() []QueryInfo {
 			ElapsedNS: time.Since(q.start).Nanoseconds(),
 			StepsDone: q.steps.Load(), Items: q.items.Load(),
 			MaterializedBytes: q.matBytes.Load(),
+			PlanLookupNS:      q.planLookupNS.Load(),
+			CompileNS:         q.compileNS.Load(),
+			CachedPlan:        q.cachedPlan.Load(),
 			Cancel:            cancelPath(q.id),
 		}
 		if p := q.lastStep.Load(); p != nil {
@@ -173,6 +197,9 @@ type SlowQuery struct {
 	WallNS            int64          `json:"wall_ns"`
 	Items             int64          `json:"items"`
 	MaterializedBytes int64          `json:"materialized_bytes"`
+	PlanLookupNS      int64          `json:"plan_lookup_ns"`
+	CompileNS         int64          `json:"compile_ns"`
+	CachedPlan        bool           `json:"cached_plan"`
 	Error             string         `json:"error,omitempty"`
 	Traces            []*trace.Trace `json:"traces,omitempty"`
 }

@@ -2,26 +2,52 @@ package difftest
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"voodoo/internal/compile"
 	"voodoo/internal/core"
 	"voodoo/internal/interp"
+	"voodoo/internal/vector"
 )
+
+// diffPool backs the pooled combo: one pool shared by every pooled run
+// (and, in the concurrency test, by every goroutine), exactly as a server
+// process shares one pool across requests.
+var diffPool = vector.NewPool(0)
 
 // configs is every option combination of the compiling backend the
 // differential test checks against the interpreter. ScatterParallel
 // stays off: parallel scatter resolves write conflicts in a
 // backend-specific order, so it is only enabled by frontends that prove
-// position uniqueness.
+// position uniqueness. The pooled combo runs the default options with
+// recycled kernel buffers — results must stay bit-identical to the heap
+// combos, or buffer reuse is leaking state between queries.
 var configs = []struct {
-	name string
-	opt  compile.Options
+	name   string
+	opt    compile.Options
+	pooled bool
 }{
-	{"compiled", compile.Options{}},
-	{"predicated", compile.Options{Predication: true}},
-	{"bulk", compile.Options{ForceBulk: true}},
-	{"bulk-predicated", compile.Options{ForceBulk: true, Predication: true}},
+	{"compiled", compile.Options{}, false},
+	{"predicated", compile.Options{Predication: true}, false},
+	{"bulk", compile.Options{ForceBulk: true}, false},
+	{"bulk-predicated", compile.Options{ForceBulk: true, Predication: true}, false},
+	{"pooled", compile.Options{}, true},
+}
+
+// runPlan executes a compiled plan under the config's memory regime; the
+// returned release func recycles pooled buffers and must be called after
+// the result has been compared (never before).
+func runPlan(ctx context.Context, plan *compile.Plan, pooled bool) (*compile.Result, func(), error) {
+	if pooled {
+		res, err := plan.RunWith(ctx, compile.RunOpts{Pool: diffPool})
+		if err != nil {
+			return nil, func() {}, err
+		}
+		return res, res.Release, nil
+	}
+	res, err := plan.RunContext(ctx)
+	return res, func() {}, err
 }
 
 const (
@@ -62,7 +88,8 @@ func TestInterpVsCompiled(t *testing.T) {
 				if cerr != nil {
 					continue
 				}
-				if _, rerr := plan.RunContext(ctx); rerr == nil {
+				if _, release, rerr := runPlan(ctx, plan, cfg.pooled); rerr == nil {
+					release()
 					t.Errorf("seed %d %s: interpreter rejects the program (%v) but the compiled plan runs:\n%s",
 						seed, cfg.name, ierr, p.Prog)
 					reported++
@@ -74,7 +101,7 @@ func TestInterpVsCompiled(t *testing.T) {
 				reported++
 				continue
 			}
-			cres, rerr := plan.RunContext(ctx)
+			cres, release, rerr := runPlan(ctx, plan, cfg.pooled)
 			if rerr != nil {
 				t.Errorf("seed %d %s: run failed: %v\nprogram:\n%s", seed, cfg.name, rerr, p.Prog)
 				reported++
@@ -95,10 +122,65 @@ func TestInterpVsCompiled(t *testing.T) {
 					break
 				}
 			}
+			release()
 		}
 	}
 	if interpErrs*20 > n {
 		t.Errorf("interpreter rejected %d/%d generated programs (budget is 5%%) — the generator has drifted into invalid territory", interpErrs, n)
+	}
+}
+
+// TestPooledConcurrentIsolation runs under -race in CI: concurrent
+// queries drawing from one shared pool must never observe each other's
+// released buffers. Each goroutine runs its own generated programs,
+// sharing one compiled plan per seed is deliberately avoided — the point
+// here is buffer isolation, and the per-goroutine interpreter result is
+// the oracle. Poison-on-release (-tags voodoo_poison) turns any
+// release-too-early bug into a loud value divergence.
+func TestPooledConcurrentIsolation(t *testing.T) {
+	const workers = 4
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seed := int64(1 + w*n); seed <= int64((w+1)*n); seed++ {
+				p := Generate(seed)
+				ires, ierr := interp.RunContext(ctx, p.Prog, p.St)
+				if ierr != nil {
+					continue // rejection parity is TestInterpVsCompiled's job
+				}
+				plan, cerr := compile.Compile(p.Prog, p.St, compile.Options{})
+				if cerr != nil {
+					continue
+				}
+				cres, err := plan.RunWith(ctx, compile.RunOpts{Pool: diffPool})
+				if err != nil {
+					errs <- "seed " + p.Prog.String() + ": pooled run failed: " + err.Error()
+					return
+				}
+				for _, ref := range p.Prog.Roots() {
+					iv, cv := ires.Value(ref), cres.Values[ref]
+					if cv == nil || !iv.Equal(cv) {
+						errs <- "pooled concurrent divergence at seed program:\n" + p.Prog.String()
+						cres.Release()
+						return
+					}
+				}
+				cres.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }
 

@@ -134,14 +134,30 @@ func (b *Buffer) Len() int {
 // FromColumn converts a vector column into an executable buffer,
 // materializing generated columns.
 func FromColumn(c *vector.Column) *Buffer {
+	return FromColumnArena(c, nil)
+}
+
+// FromColumnArena is FromColumn drawing any materialization it needs —
+// the expansion of a generated column, the validity mask — from ar (nil =
+// the Go heap). Materialized slices are adopted either way; they belong
+// to the column's owner, not the arena.
+func FromColumnArena(c *vector.Column, ar *vector.Arena) *Buffer {
 	b := &Buffer{Kind: c.Kind()}
 	if c.Kind() == vector.Int {
-		b.I = c.Ints()
+		if m, gen := c.Generated(); gen {
+			out := ar.Ints(c.Len())
+			for i := range out {
+				out[i] = m.Value(i)
+			}
+			b.I = out
+		} else {
+			b.I = c.Ints()
+		}
 	} else {
 		b.F = c.Floats()
 	}
 	if !c.AllValid() {
-		b.Valid = make([]bool, c.Len())
+		b.Valid = ar.Bools(c.Len())
 		for i := range b.Valid {
 			b.Valid[i] = c.Valid(i)
 		}
@@ -149,22 +165,15 @@ func FromColumn(c *vector.Column) *Buffer {
 	return b
 }
 
-// Column converts the buffer back into a vector column.
+// Column converts the buffer back into a vector column. The value slice
+// and the validity mask are adopted, not copied, so the column aliases
+// the buffer (and, for pooled runs, becomes invalid when the run's arena
+// is released).
 func (b *Buffer) Column() *vector.Column {
-	var c *vector.Column
 	if b.Kind == vector.Int {
-		c = vector.NewInt(b.I)
-	} else {
-		c = vector.NewFloat(b.F)
+		return vector.NewIntWithValid(b.I, b.Valid)
 	}
-	if b.Valid != nil {
-		for i, v := range b.Valid {
-			if !v {
-				c.SetEmpty(i)
-			}
-		}
-	}
-	return c
+	return vector.NewFloatWithValid(b.F, b.Valid)
 }
 
 // Bytes returns the buffer's storage footprint (8-byte scalars plus a
@@ -202,6 +211,14 @@ func NewEnv(k *kernel.Kernel) *Env {
 // allocation is charged against lim.MaxBytes first, and an over-budget
 // kernel fails with ErrResourceExhausted before its memory is committed.
 func NewEnvLimited(k *kernel.Kernel, lim Limits) (*Env, error) {
+	return NewEnvPooled(k, lim, nil)
+}
+
+// NewEnvPooled is NewEnvLimited drawing the kernel buffers from a
+// per-query arena (nil = the Go heap). Pooled acquisitions are charged
+// against the governor exactly like heap allocations — recycled memory is
+// still this query's working set.
+func NewEnvPooled(k *kernel.Kernel, lim Limits, ar *vector.Arena) (*Env, error) {
 	e := &Env{Bufs: make([]*Buffer, len(k.Bufs)), lim: lim}
 	for i, d := range k.Bufs {
 		if d.Input {
@@ -216,12 +233,12 @@ func NewEnvLimited(k *kernel.Kernel, lim Limits) (*Env, error) {
 		}
 		b := &Buffer{Kind: d.Kind}
 		if d.Kind == vector.Int {
-			b.I = make([]int64, d.Size)
+			b.I = ar.Ints(d.Size)
 		} else {
-			b.F = make([]float64, d.Size)
+			b.F = ar.Floats(d.Size)
 		}
 		if d.Valid {
-			b.Valid = make([]bool, d.Size)
+			b.Valid = ar.Bools(d.Size)
 		}
 		e.Bufs[i] = b
 	}
@@ -430,12 +447,14 @@ func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, worke
 	if f.Sequential() || workers == 1 {
 		w := newWorker(ctx, f, env, nregs, fs != nil, nil)
 		if err := protect(f.Name, func() error { return w.run(0, max(f.Extent, 1)) }); err != nil {
+			w.release()
 			return err
 		}
 		if fs != nil {
 			fs.Workers = 1
 			fs.merge(&w.stats)
 		}
+		w.release()
 		return nil
 	}
 	chunk := (f.Extent + workers - 1) / workers
@@ -467,6 +486,7 @@ func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, worke
 			if fs != nil {
 				fs.merge(&w.stats)
 			}
+			w.release()
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -501,14 +521,15 @@ const checkInterval = 1024
 
 // worker executes a contiguous range of work items of one fragment.
 type worker struct {
-	f     *kernel.Fragment
-	env   *Env
-	ri    []int64
-	rf    []float64
-	locI  []int64
-	locF  []float64
-	count bool
-	stats FragStats
+	f       *kernel.Fragment
+	env     *Env
+	ri      []int64
+	rf      []float64
+	locI    []int64
+	locF    []float64
+	scratch *scratch
+	count   bool
+	stats   FragStats
 	// checks gates the checkpoint machinery: false means the fast path
 	// pays a single predictable branch per item and nothing else.
 	checks bool
@@ -555,9 +576,59 @@ func (r *lineRing) touch(line int64) int {
 	return kind
 }
 
+// scratchPool recycles the per-worker register and local-scratch slices:
+// every fragment spawns one worker per chunk goroutine, so at steady
+// state these small slices would otherwise dominate the allocation count.
+// Registers are zeroed on reuse (make() semantics); locals are fully
+// initialized by resetLocals before every work item.
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+type scratch struct {
+	ri   []int64
+	rf   []float64
+	locI []int64
+	locF []float64
+}
+
+func (s *scratch) intSlice(which *[]int64, n int) []int64 {
+	v := *which
+	if cap(v) < n {
+		v = make([]int64, n)
+	} else {
+		v = v[:n]
+		clear(v)
+	}
+	*which = v
+	return v
+}
+
+func (s *scratch) floatSlice(which *[]float64, n int) []float64 {
+	v := *which
+	if cap(v) < n {
+		v = make([]float64, n)
+	} else {
+		v = v[:n]
+		clear(v)
+	}
+	*which = v
+	return v
+}
+
+// release hands the worker's scratch back for reuse; the worker must not
+// run again afterwards.
+func (w *worker) release() {
+	if w.scratch == nil {
+		return
+	}
+	scratchPool.Put(w.scratch)
+	w.scratch = nil
+	w.ri, w.rf, w.locI, w.locF = nil, nil, nil, nil
+}
+
 func newWorker(ctx context.Context, f *kernel.Fragment, env *Env, nregs kernel.Reg, count bool, stop *atomic.Bool) *worker {
-	w := &worker{f: f, env: env,
-		ri: make([]int64, nregs), rf: make([]float64, nregs), count: count,
+	sc := scratchPool.Get().(*scratch)
+	w := &worker{f: f, env: env, scratch: sc,
+		ri: sc.intSlice(&sc.ri, int(nregs)), rf: sc.floatSlice(&sc.rf, int(nregs)), count: count,
 		stop: stop}
 	if ctx.Done() != nil {
 		w.ctx = ctx
@@ -568,9 +639,9 @@ func newWorker(ctx context.Context, f *kernel.Fragment, env *Env, nregs kernel.R
 	w.budget = 1
 	if f.Locals > 0 {
 		if f.LocalsFloat {
-			w.locF = make([]float64, f.Locals)
+			w.locF = sc.floatSlice(&sc.locF, f.Locals)
 		} else {
-			w.locI = make([]int64, f.Locals)
+			w.locI = sc.intSlice(&sc.locI, f.Locals)
 		}
 	}
 	return w

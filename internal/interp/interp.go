@@ -48,10 +48,27 @@ func (m MemStorage) PersistVector(name string, v *vector.Vector) error {
 // Result holds the evaluated value of every statement of a program.
 type Result struct {
 	Values []*vector.Vector
+
+	// arena owns the pooled storage behind Values when the run was pooled
+	// (RunPooledContext); nil otherwise.
+	arena *vector.Arena
 }
 
 // Value returns the vector computed for statement r.
 func (r *Result) Value(ref core.Ref) *vector.Vector { return r.Values[ref] }
+
+// Release recycles the pooled storage behind a pooled run's values. The
+// result's vectors are invalid afterwards; Values is nilled so stale reads
+// fail loudly instead of observing another query's data. Safe on nil
+// results and results from unpooled runs, and idempotent.
+func (r *Result) Release() {
+	if r == nil || r.arena == nil {
+		return
+	}
+	r.arena.Release()
+	r.arena = nil
+	r.Values = nil
+}
 
 type evalErr struct{ err error }
 
@@ -64,6 +81,46 @@ func Run(p *core.Program, st Storage) (res *Result, err error) {
 	return RunContext(context.Background(), p, st)
 }
 
+// RunArena is Run drawing every intermediate from a caller-owned arena.
+// The caller keeps ownership: the result's vectors alias arena storage and
+// live exactly until the caller releases the arena. A nil arena degrades
+// to plain heap allocation. This is the entry the compiling backend's bulk
+// steps use, since their outputs are adopted into kernel buffers that must
+// survive to the end of the surrounding plan run.
+func RunArena(p *core.Program, st Storage, ar *vector.Arena) (*Result, error) {
+	res, _, err := runContext(context.Background(), p, st, nil, ar)
+	return res, err
+}
+
+// RunPooledContext is RunContext drawing every intermediate from an arena
+// of pool. The arena is attached to the result: the caller must call
+// Result.Release once done with the values. On error the arena is released
+// before returning. A nil pool degrades to plain heap allocation.
+func RunPooledContext(ctx context.Context, p *core.Program, st Storage, pool *vector.Pool) (*Result, error) {
+	ar := pool.NewArena()
+	res, _, err := runContext(ctx, p, st, nil, ar)
+	if err != nil {
+		ar.Release()
+		return nil, err
+	}
+	res.arena = ar
+	return res, nil
+}
+
+// RunTracedPooledContext is RunTracedContext with pooled intermediates;
+// see RunPooledContext for the ownership contract.
+func RunTracedPooledContext(ctx context.Context, p *core.Program, st Storage, pool *vector.Pool) (*Result, *trace.Trace, error) {
+	ar := pool.NewArena()
+	res, tr, err := runContext(ctx, p, st,
+		&trace.Trace{Backend: "interpreted", OnStep: trace.ObserverFrom(ctx)}, ar)
+	if err != nil {
+		ar.Release()
+		return nil, nil, err
+	}
+	res.arena = ar
+	return res, tr, nil
+}
+
 // RunContext is Run with cooperative cancellation, checked at every
 // statement boundary (the interpreter materializes per statement, so
 // statements are its natural unit of work). Any panic escaping a
@@ -71,7 +128,7 @@ func Run(p *core.Program, st Storage) (res *Result, err error) {
 // invariant — is recovered into a *exec.PanicError naming the statement,
 // so a bad program fails its query instead of the process.
 func RunContext(ctx context.Context, p *core.Program, st Storage) (res *Result, err error) {
-	res, _, err = runContext(ctx, p, st, nil)
+	res, _, err = runContext(ctx, p, st, nil, nil)
 	return res, err
 }
 
@@ -83,10 +140,10 @@ func RunContext(ctx context.Context, p *core.Program, st Storage) (res *Result, 
 func RunTracedContext(ctx context.Context, p *core.Program, st Storage) (*Result, *trace.Trace, error) {
 	// A context-carried observer receives each statement's step as it
 	// completes (the diagnostics server's live query progress).
-	return runContext(ctx, p, st, &trace.Trace{Backend: "interpreted", OnStep: trace.ObserverFrom(ctx)})
+	return runContext(ctx, p, st, &trace.Trace{Backend: "interpreted", OnStep: trace.ObserverFrom(ctx)}, nil)
 }
 
-func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trace) (res *Result, _ *trace.Trace, err error) {
+func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trace, ar *vector.Arena) (res *Result, _ *trace.Trace, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -104,7 +161,7 @@ func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trac
 				fmt.Sprintf("interp stmt %d", cur), r, debug.Stack())
 		}
 	}()
-	e := &evaluator{st: st, vals: make([]*vector.Vector, len(p.Stmts))}
+	e := &evaluator{st: st, vals: make([]*vector.Vector, len(p.Stmts)), ar: ar}
 	for i := range p.Stmts {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -189,6 +246,10 @@ func countRuns(v *vector.Vector) int64 {
 type evaluator struct {
 	st   Storage
 	vals []*vector.Vector
+	// ar, when non-nil, backs every intermediate the evaluator
+	// materializes. Persisted vectors are deep-copied off it (storage
+	// outlives the run); loaded vectors are never owned by it.
+	ar *vector.Arena
 }
 
 func (e *evaluator) arg(s *core.Stmt, i int) *vector.Vector { return e.vals[s.Args[i]] }
@@ -218,6 +279,11 @@ func (e *evaluator) eval(s *core.Stmt) *vector.Vector {
 		return v
 	case core.OpPersist:
 		v := e.arg(s, 0)
+		if e.ar != nil {
+			// Persisted vectors outlive the run; detach them from the
+			// arena so Release cannot recycle storage under them.
+			v = vector.UnpooledCopy(v)
+		}
 		if err := e.st.PersistVector(s.Name, v); err != nil {
 			errf("%v", err)
 		}
@@ -238,7 +304,7 @@ func (e *evaluator) eval(s *core.Stmt) *vector.Vector {
 		meta := vector.Step(s.IntVal, s.Step)
 		// The interpreter is a bulk processor: materialize even
 		// generated vectors so every intermediate is inspectable.
-		return vector.New(n).Set(s.Out[0], vector.NewGenerated(n, meta).Materialize())
+		return vector.New(n).Set(s.Out[0], e.ar.Materialize(vector.NewGenerated(n, meta)))
 	case core.OpCross:
 		return e.evalCross(s)
 	case core.OpZip:
@@ -257,7 +323,7 @@ func (e *evaluator) eval(s *core.Stmt) *vector.Vector {
 		// Identity semantics; Break/Materialize only direct backends.
 		out := vector.New(e.arg(s, 0).Len())
 		for _, name := range e.arg(s, 0).Names() {
-			out.Set(name, e.arg(s, 0).Col(name).Materialize())
+			out.Set(name, e.ar.Materialize(e.arg(s, 0).Col(name)))
 		}
 		return out
 	case core.OpPartition:
@@ -331,7 +397,7 @@ func (e *evaluator) evalUpsert(s *core.Stmt) *vector.Vector {
 		if src.Kind() == vector.Int {
 			out.Set(s.Out[0], vector.NewConst(v1.Len(), src.Int(0)))
 		} else {
-			vals := make([]float64, v1.Len())
+			vals := e.ar.Floats(v1.Len())
 			for i := range vals {
 				vals[i] = src.Float(0)
 			}
@@ -346,8 +412,8 @@ func (e *evaluator) evalUpsert(s *core.Stmt) *vector.Vector {
 func (e *evaluator) evalCross(s *core.Stmt) *vector.Vector {
 	n1, n2 := e.arg(s, 0).Len(), e.arg(s, 1).Len()
 	n := n1 * n2
-	a := make([]int64, n)
-	b := make([]int64, n)
+	a := e.ar.Ints(n)
+	b := e.ar.Ints(n)
 	for i := 0; i < n; i++ {
 		a[i] = int64(i / n2)
 		b[i] = int64(i % n2)
@@ -373,7 +439,7 @@ func (e *evaluator) evalArith(s *core.Stmt) *vector.Vector {
 	anyEmpty := !a.AllValid() || !b.AllValid()
 
 	if isFloat && !intResult(s.Op) {
-		vals := make([]float64, n)
+		vals := e.ar.Floats(n)
 		res := vector.NewFloat(vals)
 		for i := 0; i < n; i++ {
 			if anyEmpty && !valid(i) {
@@ -385,7 +451,7 @@ func (e *evaluator) evalArith(s *core.Stmt) *vector.Vector {
 		out.Set(s.Out[0], res)
 		return out
 	}
-	vals := make([]int64, n)
+	vals := e.ar.Ints(n)
 	res := vector.NewInt(vals)
 	for i := 0; i < n; i++ {
 		if anyEmpty && !valid(i) {
@@ -498,9 +564,9 @@ func (e *evaluator) evalGather(s *core.Stmt) *vector.Vector {
 		src := v1.Col(name)
 		var dst *vector.Column
 		if src.Kind() == vector.Int {
-			dst = vector.NewEmptyInt(n)
+			dst = e.ar.EmptyInt(n)
 		} else {
-			dst = vector.NewEmptyFloat(n)
+			dst = e.ar.EmptyFloat(n)
 		}
 		for i := 0; i < n; i++ {
 			if !pos.Valid(i) {
@@ -534,9 +600,9 @@ func (e *evaluator) evalScatter(s *core.Stmt) *vector.Vector {
 		src := v1.Col(name)
 		var dst *vector.Column
 		if src.Kind() == vector.Int {
-			dst = vector.NewEmptyInt(n)
+			dst = e.ar.EmptyInt(n)
 		} else {
-			dst = vector.NewEmptyFloat(n)
+			dst = e.ar.EmptyFloat(n)
 		}
 		for i := 0; i < src.Len(); i++ {
 			if !pos.Valid(i) || !src.Valid(i) {
@@ -586,7 +652,7 @@ func (e *evaluator) evalPartition(s *core.Stmt) *vector.Vector {
 		starts[p] = sum
 		sum += c
 	}
-	out := make([]int64, n)
+	out := e.ar.Ints(n)
 	for i := 0; i < n; i++ {
 		out[i] = int64(starts[pid[i]])
 		starts[pid[i]]++
@@ -632,7 +698,7 @@ func (e *evaluator) evalFold(s *core.Stmt) *vector.Vector {
 	out := vector.New(n)
 
 	if s.Op == core.OpFoldSelect {
-		dst := vector.NewEmptyInt(n)
+		dst := e.ar.EmptyInt(n)
 		for _, r := range rs {
 			cursor := r[0]
 			for i := r[0]; i < r[1]; i++ {
@@ -648,9 +714,9 @@ func (e *evaluator) evalFold(s *core.Stmt) *vector.Vector {
 	isFloat := val.Kind() == vector.Float
 	var dst *vector.Column
 	if isFloat {
-		dst = vector.NewEmptyFloat(n)
+		dst = e.ar.EmptyFloat(n)
 	} else {
-		dst = vector.NewEmptyInt(n)
+		dst = e.ar.EmptyInt(n)
 	}
 
 	if s.Op == core.OpFoldScan {

@@ -68,6 +68,12 @@ type Engine struct {
 	// per-request engine copy so cancellation and deadlines still thread
 	// through. RunContext ignores it: an explicit context wins.
 	BaseContext context.Context
+	// Pool, when set, recycles kernel buffers and interpreter
+	// intermediates across queries: each run draws its working memory
+	// from an arena of the pool and releases it when the result has been
+	// assembled into rows. Result rows never alias pooled storage, so
+	// callers see no difference beyond the allocation rate.
+	Pool *vector.Pool
 }
 
 // Catalog implements Runner.
@@ -88,22 +94,46 @@ func (e *Engine) Run(q Query) (res *Result, stats *exec.Stats, err error) {
 // aborts execution at statement/fragment boundaries and inside fragment
 // loops, buffer allocations are charged against Limits.MaxBytes, and
 // panics below the engine surface as *exec.PanicError.
-func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *exec.Stats, err error) {
+func (e *Engine) RunContext(ctx context.Context, q Query) (*Result, *exec.Stats, error) {
+	pr, err := e.Prepare(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.RunPrepared(ctx, pr)
+}
+
+// Prepared is a query lowered and (for the compiling backends) compiled,
+// ready to run any number of times. A Prepared is immutable after Prepare
+// returns: every run-varying input — limits, the buffer pool, stats
+// collection — travels per run through RunPrepared, so one Prepared is
+// safe to share across concurrent queries. This is what the serve layer's
+// plan cache stores.
+type Prepared struct {
+	q    Query
+	prog *core.Program
+	outs []aggOut
+	plan *compile.Plan // nil for the interpreted backend
+}
+
+// Query returns the relational query this plan was prepared from.
+func (pr *Prepared) Query() Query { return pr.q }
+
+// Plan returns the compiled plan, nil when the backend interprets.
+func (pr *Prepared) Plan() *compile.Plan { return pr.plan }
+
+// Prepare lowers q and, unless the engine interprets, compiles it. The
+// result depends only on the query, the catalog, and the engine's backend
+// options — never on per-run state — so it may be cached and shared.
+func (e *Engine) Prepare(q Query) (pr *Prepared, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if le, ok := r.(lowerErr); ok {
-				res, stats, err = nil, nil, le.err
+				pr, err = nil, le.err
 				return
 			}
 			panic(r)
 		}
 	}()
-
-	if d := e.Limits.Deadline; !d.IsZero() {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadline(ctx, d)
-		defer cancel()
-	}
 
 	grain := e.Grain
 	if grain <= 0 {
@@ -113,23 +143,46 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *e
 	l.lower(q.Root)
 	prog := l.b.Program()
 	if len(l.outs) == 0 {
-		return nil, nil, fmt.Errorf("rel: query has no aggregate outputs (the root must be a GroupAgg)")
+		return nil, fmt.Errorf("rel: query has no aggregate outputs (the root must be a GroupAgg)")
+	}
+	pr = &Prepared{q: q, prog: prog, outs: l.outs}
+	if e.Backend != Interpreted {
+		plan, cerr := e.Plan(prog)
+		if cerr != nil {
+			return nil, cerr
+		}
+		pr.plan = plan
+	}
+	return pr, nil
+}
+
+// RunPrepared executes a prepared query under the engine's per-run
+// configuration (limits, pool, stats, sinks). The prepared plan itself is
+// never mutated, so concurrent RunPrepared calls on one Prepared are safe.
+func (e *Engine) RunPrepared(ctx context.Context, pr *Prepared) (res *Result, stats *exec.Stats, err error) {
+	if d := e.Limits.Deadline; !d.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, d)
+		defer cancel()
 	}
 
+	// release recycles the run's pooled intermediates. It runs after
+	// assemble, which copies every output value into plain Row maps, so
+	// results never alias pooled storage.
+	release := func() {}
 	values := map[core.Ref]*vector.Vector{}
-	switch e.Backend {
-	case Interpreted:
+	if pr.plan == nil {
 		var ires *interp.Result
 		var ierr error
 		if e.TraceSink != nil {
 			var tr *trace.Trace
-			ires, tr, ierr = interp.RunTracedContext(ctx, prog, e.Cat)
+			ires, tr, ierr = interp.RunTracedPooledContext(ctx, pr.prog, e.Cat, e.Pool)
 			if tr != nil {
-				tr.Query = q.Name
+				tr.Query = pr.q.Name
 				e.TraceSink(tr)
 			}
 		} else {
-			ires, ierr = interp.RunContext(ctx, prog, e.Cat)
+			ires, ierr = interp.RunPooledContext(ctx, pr.prog, e.Cat, e.Pool)
 		}
 		if ierr != nil {
 			// The compiling backends count governor-deadline aborts inside
@@ -138,35 +191,35 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *e
 			exec.NoteDeadline(e.Limits, ierr)
 			return nil, nil, ierr
 		}
-		for _, o := range l.outs {
+		release = ires.Release
+		for _, o := range pr.outs {
 			values[o.ref] = ires.Value(o.ref)
 		}
-	default:
-		plan, cerr := e.Plan(prog)
-		if cerr != nil {
-			return nil, nil, cerr
-		}
+	} else {
 		if e.PlanSink != nil {
-			e.PlanSink(plan)
+			e.PlanSink(pr.plan)
 		}
+		ro := compile.RunOpts{Limits: e.Limits, Pool: e.Pool, CollectStats: e.CollectStats}
 		var pres *compile.Result
 		var rerr error
 		if e.TraceSink != nil {
 			var tr *trace.Trace
-			pres, tr, rerr = plan.RunTracedContext(ctx)
+			pres, tr, rerr = pr.plan.RunTracedWith(ctx, ro)
 			if tr != nil {
-				tr.Query = q.Name
+				tr.Query = pr.q.Name
 				e.TraceSink(tr)
 			}
 		} else {
-			pres, rerr = plan.RunContext(ctx)
+			pres, rerr = pr.plan.RunWith(ctx, ro)
 		}
 		if rerr != nil {
 			return nil, nil, rerr
 		}
-		for _, o := range l.outs {
+		release = pres.Release
+		for _, o := range pr.outs {
 			v, ok := pres.Values[o.ref]
 			if !ok {
+				pres.Release()
 				return nil, nil, fmt.Errorf("rel: output v%d not produced", o.ref)
 			}
 			values[o.ref] = v
@@ -176,7 +229,9 @@ func (e *Engine) RunContext(ctx context.Context, q Query) (res *Result, stats *e
 		}
 	}
 
-	res = assemble(l.outs, values)
+	q := pr.q
+	res = assemble(pr.outs, values)
+	release()
 	if q.Having != nil {
 		kept := res.Rows[:0]
 		for _, r := range res.Rows {

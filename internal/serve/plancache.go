@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"voodoo/internal/metrics"
+	"voodoo/internal/rel"
+	"voodoo/internal/storage"
+)
+
+// planCache is an LRU of prepared queries keyed by (catalog identity,
+// normalized SQL). A cache hit hands back a *rel.Prepared to run directly,
+// skipping parse, planning and compilation entirely. Prepared plans are
+// immutable after Prepare — every run-varying input travels through
+// compile.RunOpts — so one entry is safe to hand to any number of
+// concurrent requests.
+//
+// Keying on the *storage.Catalog pointer means a reloaded catalog gets a
+// cold cache rather than stale plans: plans capture catalog column slices
+// at compile time, so identity is exactly the right notion of "same data".
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of *cacheEntry; front = most recently used
+	byKey map[cacheKey]*list.Element
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+}
+
+type cacheKey struct {
+	cat *storage.Catalog
+	sql string
+}
+
+type cacheEntry struct {
+	key cacheKey
+	pr  *rel.Prepared
+}
+
+// newPlanCache builds a cache holding up to capacity plans and registers
+// its counters with reg. A capacity <= 0 returns nil (caching disabled;
+// all methods are nil-safe misses).
+func newPlanCache(capacity int, reg *metrics.Registry) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		cap:   capacity,
+		lru:   list.New(),
+		byKey: make(map[cacheKey]*list.Element, capacity),
+		hits: reg.Counter("voodoo_plan_cache_hits_total",
+			"Queries served from the compiled-plan cache (parse+plan skipped)."),
+		misses: reg.Counter("voodoo_plan_cache_misses_total",
+			"Queries that had to parse, plan and compile."),
+		evictions: reg.Counter("voodoo_plan_cache_evictions_total",
+			"Plans evicted from the cache by LRU pressure."),
+	}
+}
+
+// normalizeSQL collapses whitespace so formatting variants of one query
+// share a cache entry. The SQL dialect here has no string literals, so
+// whitespace folding cannot change meaning.
+func normalizeSQL(src string) string {
+	return strings.Join(strings.Fields(src), " ")
+}
+
+// get returns the cached plan for (cat, normalized sql), marking it most
+// recently used. The second result reports a hit; misses are counted.
+func (c *planCache) get(cat *storage.Catalog, sql string) (*rel.Prepared, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[cacheKey{cat, sql}]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).pr, true
+}
+
+// put inserts a freshly prepared plan, evicting the least recently used
+// entry when full. Re-inserting an existing key refreshes its recency.
+func (c *planCache) put(cat *storage.Catalog, sql string, pr *rel.Prepared) {
+	if c == nil {
+		return
+	}
+	key := cacheKey{cat, sql}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).pr = pr
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, pr: pr})
+	if c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// len reports the number of cached plans.
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

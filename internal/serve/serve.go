@@ -40,6 +40,7 @@ import (
 	"voodoo/internal/storage"
 	"voodoo/internal/tpch"
 	"voodoo/internal/trace"
+	"voodoo/internal/vector"
 )
 
 // Config configures a query server.
@@ -60,16 +61,24 @@ type Config struct {
 	MaxConcurrent int
 	// SlowQueries is the slow-query ring capacity (0 = 16).
 	SlowQueries int
+	// PlanCache is the compiled-plan cache capacity in entries
+	// (0 = 256; negative disables caching).
+	PlanCache int
+	// NoPool disables the kernel-buffer pool; every query then allocates
+	// fresh working memory and leaves it to the garbage collector.
+	NoPool bool
 	// Registry receives the server's metrics (nil = metrics.Default).
 	Registry *metrics.Registry
 }
 
 // Server executes SQL over HTTP against one catalog.
 type Server struct {
-	cfg  Config
-	reg  *metrics.Registry
-	qreg *diag.QueryRegistry
-	sem  chan struct{}
+	cfg   Config
+	reg   *metrics.Registry
+	qreg  *diag.QueryRegistry
+	sem   chan struct{}
+	cache *planCache
+	pool  *vector.Pool
 
 	mQueue   *metrics.Histogram
 	mCompile *metrics.Histogram
@@ -86,11 +95,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	if cfg.PlanCache == 0 {
+		cfg.PlanCache = 256
+	}
 	s := &Server{
-		cfg:  cfg,
-		reg:  cfg.Registry,
-		qreg: diag.NewQueryRegistry(cfg.SlowQueries),
-		sem:  make(chan struct{}, cfg.MaxConcurrent),
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		qreg:  diag.NewQueryRegistry(cfg.SlowQueries),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cache: newPlanCache(cfg.PlanCache, cfg.Registry),
 
 		mQueue: cfg.Registry.Histogram("voodoo_http_queue_seconds",
 			"Time requests wait for an execution slot under the admission semaphore.", nil),
@@ -102,6 +115,9 @@ func New(cfg Config) *Server {
 			"Query requests served, by HTTP status code.", "code"),
 		mRows: cfg.Registry.Counter("voodoo_rows_returned_total",
 			"Result rows returned to HTTP clients."),
+	}
+	if !cfg.NoPool {
+		s.pool = vector.NewPool(0)
 	}
 	cfg.Registry.GaugeFunc("voodoo_active_queries",
 		"Queries currently executing or unwinding.",
@@ -148,12 +164,16 @@ type queryResponse struct {
 }
 
 // queryStats is the per-request instrumentation echoed to the client;
-// the same numbers feed the server's histograms.
+// the same numbers feed the server's histograms. PlanLookupNS is the
+// plan-cache lookup; CompileNS is parse+plan+compile and is ~0 when
+// Cached (the plan came from the cache).
 type queryStats struct {
-	QueueNS   int64 `json:"queue_ns"`
-	CompileNS int64 `json:"compile_ns"`
-	ExecNS    int64 `json:"exec_ns"`
-	Rows      int   `json:"rows"`
+	QueueNS      int64 `json:"queue_ns"`
+	PlanLookupNS int64 `json:"plan_lookup_ns"`
+	CompileNS    int64 `json:"compile_ns"`
+	ExecNS       int64 `json:"exec_ns"`
+	Rows         int   `json:"rows"`
+	Cached       bool  `json:"cached"`
 }
 
 type queryError struct {
@@ -195,11 +215,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	queueWait := time.Since(arrived)
 	s.mQueue.Observe(queueWait.Seconds())
 
-	// Compile: parse and plan the SQL (prebuilt TPC-H queries lower
-	// inside the engine and report zero here).
-	var q rel.Query
+	// The engine is per-request (it carries the request context, trace
+	// sink and deadline below) but shares the server-wide buffer pool, so
+	// working memory recycles across requests.
+	e := &rel.Engine{
+		Cat: s.cfg.Cat, Backend: s.cfg.Backend, Opt: s.cfg.Opt,
+		Limits: s.cfg.Limits,
+		Pool:   s.pool,
+	}
+	e.Limits.Deadline = deadline
+
+	// Resolve the query kind first: prebuilt TPC-H queries never touch
+	// the SQL frontend, and SQL goes through the plan cache — a hit
+	// skips parse, planning and compilation entirely.
 	var qf tpch.QueryFunc
-	compileStart := time.Now()
+	var pr *rel.Prepared
+	var cached bool
+	var lookupDur, compileDur time.Duration
 	if qnum > 0 {
 		if qf, err = tpch.Query(qnum); err != nil {
 			s.fail(w, http.StatusBadRequest, "parse", err)
@@ -207,18 +239,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		src = fmt.Sprintf("TPC-H Q%d", qnum)
 	} else {
-		stmt, perr := sql.Parse(src)
-		if perr != nil {
-			s.fail(w, http.StatusBadRequest, "parse", perr)
-			return
+		norm := normalizeSQL(src)
+		lookupStart := time.Now()
+		pr, cached = s.cache.get(s.cfg.Cat, norm)
+		lookupDur = time.Since(lookupStart)
+		if !cached {
+			compileStart := time.Now()
+			stmt, perr := sql.Parse(src)
+			if perr != nil {
+				s.fail(w, http.StatusBadRequest, "parse", perr)
+				return
+			}
+			var q rel.Query
+			if q, err = sql.Plan(stmt, s.cfg.Cat); err != nil {
+				s.fail(w, http.StatusBadRequest, "plan", err)
+				return
+			}
+			q.Name = src
+			if pr, err = e.Prepare(q); err != nil {
+				s.fail(w, http.StatusBadRequest, "plan", err)
+				return
+			}
+			compileDur = time.Since(compileStart)
+			s.cache.put(s.cfg.Cat, norm, pr)
 		}
-		if q, err = sql.Plan(stmt, s.cfg.Cat); err != nil {
-			s.fail(w, http.StatusBadRequest, "plan", err)
-			return
-		}
-		q.Name = src
 	}
-	compileDur := time.Since(compileStart)
 	s.mCompile.Observe(compileDur.Seconds())
 
 	// Execute under a cancellable context registered for the /queries
@@ -227,23 +272,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	aq := s.qreg.Begin(src, cancel)
+	aq.SetPlanTiming(lookupDur.Nanoseconds(), compileDur.Nanoseconds(), cached)
 	ctx = trace.WithObserver(ctx, aq.Observe)
 
 	var traces []*trace.Trace
-	e := &rel.Engine{
-		Cat: s.cfg.Cat, Backend: s.cfg.Backend, Opt: s.cfg.Opt,
-		Limits:      s.cfg.Limits,
-		BaseContext: ctx,
-		TraceSink:   func(t *trace.Trace) { traces = append(traces, t) },
-	}
-	e.Limits.Deadline = deadline
+	e.BaseContext = ctx
+	e.TraceSink = func(t *trace.Trace) { traces = append(traces, t) }
 
 	execStart := time.Now()
 	var res *rel.Result
 	if qf != nil {
 		res, _, err = qf(e)
 	} else {
-		res, _, err = e.RunContext(ctx, q)
+		res, _, err = e.RunPrepared(ctx, pr)
 	}
 	execDur := time.Since(execStart)
 	s.qreg.Finish(aq, traces, err)
@@ -270,8 +311,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, out)
 	}
 	resp.Stats = queryStats{
-		QueueNS: queueWait.Nanoseconds(), CompileNS: compileDur.Nanoseconds(),
-		ExecNS: execDur.Nanoseconds(), Rows: len(resp.Rows),
+		QueueNS: queueWait.Nanoseconds(), PlanLookupNS: lookupDur.Nanoseconds(),
+		CompileNS: compileDur.Nanoseconds(), ExecNS: execDur.Nanoseconds(),
+		Rows: len(resp.Rows), Cached: cached,
 	}
 	s.mRows.Add(int64(len(resp.Rows)))
 	s.count(http.StatusOK)

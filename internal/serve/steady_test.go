@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"voodoo/internal/compile"
+	"voodoo/internal/metrics"
+	"voodoo/internal/rel"
+	"voodoo/internal/sql"
+	"voodoo/internal/vector"
+)
+
+const steadySQL = `SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS q
+  FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
+
+// TestPlanCacheHit pins the acceptance criterion of the plan cache: the
+// second identical request skips parse+plan entirely (compile_ns == 0,
+// cached: true) and returns the same rows, and a whitespace variant of
+// the SQL shares the cache entry.
+func TestPlanCacheHit(t *testing.T) {
+	srv := newTestServer(t, Config{})
+
+	code, first, body := postQuery(t, srv.URL, steadySQL)
+	if code != 200 {
+		t.Fatalf("first request: status %d: %s", code, body)
+	}
+	if first.Stats.Cached {
+		t.Fatalf("first request reported cached=true")
+	}
+	if first.Stats.CompileNS <= 0 {
+		t.Fatalf("first request reported compile_ns=%d, want > 0", first.Stats.CompileNS)
+	}
+
+	code, second, body := postQuery(t, srv.URL, steadySQL)
+	if code != 200 {
+		t.Fatalf("second request: status %d: %s", code, body)
+	}
+	if !second.Stats.Cached {
+		t.Fatalf("second identical request not served from the plan cache: %s", body)
+	}
+	if second.Stats.CompileNS != 0 {
+		t.Fatalf("cache hit reported compile_ns=%d, want 0", second.Stats.CompileNS)
+	}
+	if len(second.Rows) != len(first.Rows) || fmt.Sprint(second.Rows) != fmt.Sprint(first.Rows) {
+		t.Fatalf("cached run diverges:\nfirst:  %v\nsecond: %v", first.Rows, second.Rows)
+	}
+
+	// A formatting variant of the same query shares the entry.
+	variant := "SELECT   l_returnflag,\n COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem\tGROUP BY l_returnflag ORDER BY l_returnflag"
+	code, third, body := postQuery(t, srv.URL, variant)
+	if code != 200 {
+		t.Fatalf("variant request: status %d: %s", code, body)
+	}
+	if !third.Stats.Cached {
+		t.Fatalf("whitespace variant missed the cache: %s", body)
+	}
+}
+
+// TestPlanCacheLRU exercises the cache data structure directly: eviction
+// order, recency refresh, and the disabled (nil) cache.
+func TestPlanCacheLRU(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newPlanCache(2, reg)
+	prA, prB, prC := &rel.Prepared{}, &rel.Prepared{}, &rel.Prepared{}
+
+	c.put(testCat, "a", prA)
+	c.put(testCat, "b", prB)
+	if _, ok := c.get(testCat, "a"); !ok {
+		t.Fatal("a missing after insert")
+	}
+	// a was just used, so inserting c must evict b.
+	c.put(testCat, "c", prC)
+	if _, ok := c.get(testCat, "b"); ok {
+		t.Fatal("b survived eviction; LRU order ignores recency")
+	}
+	if got, ok := c.get(testCat, "a"); !ok || got != prA {
+		t.Fatal("a lost or swapped")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	// A different catalog pointer is a different key space.
+	if _, ok := c.get(nil, "a"); ok {
+		t.Fatal("catalog identity ignored in the cache key")
+	}
+
+	var disabled *planCache
+	if _, ok := disabled.get(testCat, "a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	disabled.put(testCat, "a", prA) // must not panic
+	if disabled.len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}
+
+// TestSteadyStateAllocDrop is the tentpole's acceptance test: a repeated
+// query on the warm path (cached prepared plan + pooled buffers) must
+// allocate at least 80% less than the cold path (parse, plan, compile,
+// run on the heap — what every request paid before this change), with
+// bit-identical rows.
+func TestSteadyStateAllocDrop(t *testing.T) {
+	ctx := context.Background()
+	// Single-threaded execution: parallel workers allocate on their own
+	// goroutines at unpredictable points, which would blur allocs/op.
+	opt := compile.Options{Workers: 1}
+
+	cold := func() *rel.Result {
+		stmt, err := sql.Parse(steadySQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := sql.Plan(stmt, testCat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &rel.Engine{Cat: testCat, Opt: opt}
+		res, _, err := e.RunContext(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	pool := vector.NewPool(0)
+	warmEngine := &rel.Engine{Cat: testCat, Opt: opt, Pool: pool}
+	stmt, err := sql.Parse(steadySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sql.Plan(stmt, testCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := warmEngine.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := func() *rel.Result {
+		res, _, err := warmEngine.RunPrepared(ctx, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Bit-identical results first (and this warms the pool's free lists).
+	want, got := cold(), warm()
+	if fmt.Sprint(want.Rows) != fmt.Sprint(got.Rows) {
+		t.Fatalf("pooled steady-state rows diverge:\ncold: %v\nwarm: %v", want.Rows, got.Rows)
+	}
+
+	coldAllocs := testing.AllocsPerRun(5, func() { cold() })
+	warmAllocs := testing.AllocsPerRun(5, func() { warm() })
+	t.Logf("cold %.0f allocs/op, warm %.0f allocs/op (%.1f%% drop)",
+		coldAllocs, warmAllocs, 100*(1-warmAllocs/coldAllocs))
+	if warmAllocs > coldAllocs/5 {
+		t.Errorf("steady state allocates %.0f/op vs %.0f/op cold — less than the required 80%% drop",
+			warmAllocs, coldAllocs)
+	}
+}
+
+// BenchmarkSteadyStateQuery is the repeated-query benchmark of the issue:
+// same SQL, warm plan cache, pooled buffers. Run with -benchmem.
+func BenchmarkSteadyStateQuery(b *testing.B) {
+	ctx := context.Background()
+	pool := vector.NewPool(0)
+	e := &rel.Engine{Cat: testCat, Opt: compile.Options{Workers: 1}, Pool: pool}
+	stmt, err := sql.Parse(steadySQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sql.Plan(stmt, testCat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := e.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunPrepared(ctx, pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

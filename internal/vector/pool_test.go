@@ -1,0 +1,231 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSizeClassRounding(t *testing.T) {
+	cases := []struct {
+		n       int
+		class   int
+		rounded int
+	}{
+		{-1, -1, -1}, {0, -1, 0}, {1, 0, 64}, {64, 0, 64}, {65, 1, 128},
+		{128, 1, 128}, {1000, 4, 1024}, {1024, 4, 1024}, {1025, 5, 2048},
+		{64 << 20, numClasses - 1, 64 << 20}, {64<<20 + 1, -1, 64<<20 + 1},
+	}
+	for _, c := range cases {
+		class, rounded := sizeClass(c.n)
+		if class != c.class || rounded != c.rounded {
+			t.Errorf("sizeClass(%d) = (%d, %d), want (%d, %d)", c.n, class, rounded, c.class, c.rounded)
+		}
+	}
+}
+
+// FuzzSizeClass pins the rounding invariants: a pooled class always
+// covers the request with a power-of-two capacity no more than 2x the
+// request, and the class index is stable under re-rounding (so a slice
+// released by capacity lands back in the class it was issued from).
+func FuzzSizeClass(f *testing.F) {
+	for _, n := range []int{-5, 0, 1, 63, 64, 65, 4096, 1 << 20, 64 << 20, 1 << 30} {
+		f.Add(n)
+	}
+	f.Fuzz(func(t *testing.T, n int) {
+		class, rounded := sizeClass(n)
+		if n <= 0 {
+			if class != -1 {
+				t.Fatalf("sizeClass(%d): non-positive request got class %d", n, class)
+			}
+			return
+		}
+		if class == -1 {
+			if n <= minClassElems<<(numClasses-1) {
+				t.Fatalf("sizeClass(%d): in-range request not pooled", n)
+			}
+			if rounded != n {
+				t.Fatalf("sizeClass(%d): unpooled request rounded to %d", n, rounded)
+			}
+			return
+		}
+		if class < 0 || class >= numClasses {
+			t.Fatalf("sizeClass(%d): class %d out of range", n, class)
+		}
+		if rounded != minClassElems<<class {
+			t.Fatalf("sizeClass(%d): class %d has capacity %d, want %d", n, class, rounded, minClassElems<<class)
+		}
+		if rounded < n {
+			t.Fatalf("sizeClass(%d): capacity %d does not cover the request", n, rounded)
+		}
+		if rounded&(rounded-1) != 0 {
+			t.Fatalf("sizeClass(%d): capacity %d is not a power of two", n, rounded)
+		}
+		if n > minClassElems && rounded >= 2*n {
+			t.Fatalf("sizeClass(%d): capacity %d wastes more than 2x", n, rounded)
+		}
+		c2, r2 := sizeClass(rounded)
+		if c2 != class || r2 != rounded {
+			t.Fatalf("sizeClass(%d) = (%d,%d) but sizeClass(%d) = (%d,%d): release would change class",
+				n, class, rounded, rounded, c2, r2)
+		}
+	})
+}
+
+// TestPoolLeak is the CI leak gate (run with -count=5): every byte an
+// arena acquires is either recycled into a free list or intentionally
+// dropped, the retained footprint never exceeds the budget, and a
+// get/release cycle at steady state is fully served from the free lists.
+func TestPoolLeak(t *testing.T) {
+	p := NewPool(1 << 20)
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		a := p.NewArena()
+		for j := 0; j < 20; j++ {
+			n := 1 + r.Intn(4096)
+			switch j % 3 {
+			case 0:
+				s := a.Ints(n)
+				if len(s) != n {
+					t.Fatalf("Ints(%d) has length %d", n, len(s))
+				}
+				for _, v := range s {
+					if v != 0 {
+						t.Fatalf("Ints(%d): pooled slice not zeroed", n)
+					}
+				}
+			case 1:
+				s := a.Floats(n)
+				for _, v := range s {
+					if v != 0 {
+						t.Fatalf("Floats(%d): pooled slice not zeroed", n)
+					}
+				}
+			default:
+				s := a.Bools(n)
+				for _, v := range s {
+					if v {
+						t.Fatalf("Bools(%d): pooled slice not zeroed", n)
+					}
+				}
+			}
+		}
+		a.Release()
+		a.Release() // idempotent
+		if st := p.Stats(); st.RetainedBytes > 1<<20 {
+			t.Fatalf("round %d: retained %d bytes exceeds the 1MiB budget", round, st.RetainedBytes)
+		}
+	}
+	st := p.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no pool hits after 50 identical rounds: %+v", st)
+	}
+	if st.RecycledBytes == 0 {
+		t.Fatalf("no bytes recycled: %+v", st)
+	}
+	// Steady state: a repeat of the same shapes must be ~all hits.
+	before := p.Stats()
+	a := p.NewArena()
+	r2 := rand.New(rand.NewSource(7))
+	for j := 0; j < 20; j++ {
+		n := 1 + r2.Intn(4096)
+		switch j % 3 {
+		case 0:
+			a.Ints(n)
+		case 1:
+			a.Floats(n)
+		default:
+			a.Bools(n)
+		}
+	}
+	a.Release()
+	after := p.Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("steady-state round missed the pool %d times", after.Misses-before.Misses)
+	}
+}
+
+func TestArenaNilFallsBackToHeap(t *testing.T) {
+	var a *Arena
+	if got := a.Ints(5); len(got) != 5 {
+		t.Fatalf("nil arena Ints(5) has length %d", len(got))
+	}
+	if got := a.Floats(3); len(got) != 3 {
+		t.Fatalf("nil arena Floats(3) has length %d", len(got))
+	}
+	if c := a.EmptyInt(4); c.Len() != 4 || c.Valid(0) {
+		t.Fatalf("nil arena EmptyInt(4) broken: len=%d valid0=%v", c.Len(), c.Valid(0))
+	}
+	a.Release() // must not panic
+	var p *Pool
+	if ar := p.NewArena(); ar != nil {
+		t.Fatalf("nil pool produced a non-nil arena")
+	}
+}
+
+func TestArenaMaterialize(t *testing.T) {
+	p := NewPool(0)
+	a := p.NewArena()
+	gen := NewGenerated(100, Step(3, 2))
+	m := a.Materialize(gen)
+	for i := 0; i < 100; i++ {
+		if m.Int(i) != gen.Int(i) {
+			t.Fatalf("materialized generated column diverges at %d: %d vs %d", i, m.Int(i), gen.Int(i))
+		}
+	}
+	src := NewEmptyFloat(10)
+	src.SetFloat(3, 1.5)
+	cp := a.Materialize(src)
+	if !cp.Equal(src) {
+		t.Fatalf("materialized copy diverges from source")
+	}
+	cp.SetFloat(4, 9) // must not write through to src
+	if src.Valid(4) {
+		t.Fatalf("arena materialize aliases its source")
+	}
+	a.Release()
+}
+
+// TestArenaConcurrentIsolation runs under -race in CI: queries on
+// concurrent arenas over one shared pool must never observe each other's
+// buffers. Each worker fills its slices with a worker-unique value,
+// yields, and verifies; a buffer leaking across arenas (double-tracked,
+// or handed out before release) is a data race and a value mismatch.
+func TestArenaConcurrentIsolation(t *testing.T) {
+	p := NewPool(0)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mark := int64(w + 1)
+			for round := 0; round < 200; round++ {
+				a := p.NewArena()
+				ss := make([][]int64, 4)
+				for i := range ss {
+					ss[i] = a.Ints(256 + 64*i)
+					for j := range ss[i] {
+						ss[i][j] = mark
+					}
+				}
+				for i := range ss {
+					for j := range ss[i] {
+						if ss[i][j] != mark {
+							errs <- fmt.Errorf("arena isolation violated: worker %d round %d slice %d[%d] = %d",
+								w, round, i, j, ss[i][j])
+							return
+						}
+					}
+				}
+				a.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -218,6 +218,19 @@ func NewFloat(vals []float64) *Column {
 	return &Column{kind: Float, n: len(vals), floats: vals}
 }
 
+// NewIntWithValid returns a materialized integer column adopting both the
+// value slice and the validity mask (nil valid = all slots filled). The
+// mask uses the same representation SetEmpty maintains, so adopting an
+// executor buffer's mask is equivalent to replaying its empty slots.
+func NewIntWithValid(vals []int64, valid []bool) *Column {
+	return &Column{kind: Int, n: len(vals), ints: vals, valid: valid}
+}
+
+// NewFloatWithValid is NewIntWithValid for float columns.
+func NewFloatWithValid(vals []float64, valid []bool) *Column {
+	return &Column{kind: Float, n: len(vals), floats: vals, valid: valid}
+}
+
 // NewGenerated returns a control-vector column of length n described by
 // meta. Generated columns are integer-typed and occupy no storage.
 func NewGenerated(n int, meta RunMeta) *Column {
