@@ -61,7 +61,7 @@ func main() {
 	flag.Parse()
 
 	if *diagAddr != "" {
-		ds, err := diag.Serve(*diagAddr, metrics.Default, nil)
+		ds, err := diag.Serve(*diagAddr, metrics.Default, nil, nil)
 		if err != nil {
 			fatal(err)
 		}

@@ -8,8 +8,23 @@
 //
 //	voodoo-serve [-addr :8080] [-diag-addr ADDR]
 //	             [-sf SF] [-data DIR] [-backend compiled|interp|bulk] [-predicate]
-//	             [-timeout 30s] [-max-mem 1g] [-max-extent N]
+//	             [-timeout 30s] [-max-mem 1g] [-max-extent N] [-max-heap 4g]
 //	             [-concurrency N] [-slow N] [-plan-cache N] [-no-pool]
+//	             [-drain-timeout 10s]
+//
+// Lifecycle signals:
+//
+//	SIGTERM/SIGINT  graceful shutdown: stop accepting, drain in-flight
+//	                queries up to -drain-timeout, then cancel survivors
+//	                through the context plumbing and exit.
+//	SIGHUP          hot catalog reload: the -data directory (or a fresh
+//	                generation) is loaded off to the side and swapped in
+//	                atomically; in-flight queries finish on the catalog
+//	                they started with.
+//
+// A catalog directory with corrupt table files starts the daemon in
+// degraded mode: the damaged tables are quarantined (listed in /healthz),
+// queries touching them answer 503, and the rest serve normally.
 //
 // Examples:
 //
@@ -17,6 +32,7 @@
 //	curl -s localhost:8080/query -d 'SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag'
 //	curl -s 'localhost:8080/query?q=6'
 //	curl -s localhost:8080/queries
+//	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics | grep voodoo_
 package main
 
@@ -25,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,6 +74,8 @@ func main() {
 	slowN := flag.Int("slow", 16, "retain full traces of the N slowest queries")
 	planCache := flag.Int("plan-cache", 0, "compiled-plan cache capacity in entries (0 = 256, negative disables)")
 	noPool := flag.Bool("no-pool", false, "disable the kernel-buffer pool (each query allocates fresh)")
+	maxHeap := flag.String("max-heap", "", "live-heap watermark above which new queries are shed with 503 (e.g. 4g; empty = disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight queries before cancelling them")
 	flag.Parse()
 
 	var limits exec.Limits
@@ -68,20 +87,16 @@ func main() {
 		limits.MaxBytes = n
 	}
 	limits.MaxExtent = *maxExtent
+	var highWater int64
+	if *maxHeap != "" {
+		n, err := parseSize(*maxHeap)
+		if err != nil {
+			fatal(err)
+		}
+		highWater = n
+	}
 
-	start := time.Now()
-	var cat *storage.Catalog
-	var err error
-	if *data != "" {
-		cat, err = storage.Load(*data)
-	} else {
-		cat = tpch.Generate(tpch.Config{SF: *sf, Seed: 42})
-	}
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "voodoo-serve: catalog ready in %.1fs (%s)\n",
-		time.Since(start).Seconds(), catalogSummary(cat))
+	cat := loadCatalog(*data, *sf)
 
 	s := serve.New(serve.Config{
 		Cat:           cat,
@@ -93,10 +108,11 @@ func main() {
 		SlowQueries:   *slowN,
 		PlanCache:     *planCache,
 		NoPool:        *noPool,
+		MemHighWater:  highWater,
 	})
 
 	if *diagAddr != "" {
-		ds, err := diag.Serve(*diagAddr, metrics.Default, s.QueryRegistry())
+		ds, err := diag.Serve(*diagAddr, metrics.Default, s.QueryRegistry(), s.Health)
 		if err != nil {
 			fatal(err)
 		}
@@ -104,24 +120,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "voodoo-serve: diagnostics on http://%s\n", ds.Addr)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.Mux()}
+	// Bind explicitly so the resolved address (":0" listeners included)
+	// is printed — scripts and the signal-handling smoke test parse it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: s.Mux()}
 	go func() {
-		fmt.Fprintf(os.Stderr, "voodoo-serve: listening on %s\n", *addr)
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "voodoo-serve: listening on %s\n", ln.Addr())
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
 	}()
 
-	// Serve until interrupted, then drain in-flight requests briefly.
+	// SIGHUP reloads the catalog off to the side and swaps it in without
+	// dropping a single in-flight query.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			start := time.Now()
+			next := loadCatalog(*data, *sf)
+			s.SwapCatalog(next)
+			fmt.Fprintf(os.Stderr, "voodoo-serve: catalog reloaded in %.1fs (%s)\n",
+				time.Since(start).Seconds(), catalogSummary(next))
+		}
+	}()
+
+	// Serve until interrupted, then drain: stop admitting (healthz flips
+	// to draining so load balancers eject us), let in-flight queries
+	// finish up to -drain-timeout, then cancel the stragglers through the
+	// context plumbing.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "voodoo-serve: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	fmt.Fprintln(os.Stderr, "voodoo-serve: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	s.StartDraining()
+	if err := s.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "voodoo-serve:", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
 		srv.Close()
 	}
+	fmt.Fprintln(os.Stderr, "voodoo-serve: shutdown complete")
+}
+
+// loadCatalog loads -data in degraded mode (quarantining corrupt tables
+// rather than refusing to start) or generates a fresh TPC-H catalog.
+func loadCatalog(data string, sf float64) *storage.Catalog {
+	start := time.Now()
+	var cat *storage.Catalog
+	if data != "" {
+		var err error
+		cat, err = storage.LoadDegraded(data)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range cat.Quarantined() {
+			fmt.Fprintf(os.Stderr, "voodoo-serve: QUARANTINED %s: %v\n", name, cat.QuarantineErr(name))
+		}
+		if q := cat.Quarantined(); len(q) > 0 {
+			fmt.Fprintf(os.Stderr, "voodoo-serve: starting DEGRADED: %d of %d tables quarantined\n",
+				len(q), len(q)+len(cat.Tables()))
+		}
+	} else {
+		cat = tpch.Generate(tpch.Config{SF: sf, Seed: 42})
+	}
+	fmt.Fprintf(os.Stderr, "voodoo-serve: catalog ready in %.1fs (%s)\n",
+		time.Since(start).Seconds(), catalogSummary(cat))
+	return cat
 }
 
 func backendFor(name string) rel.Backend {

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"voodoo/internal/faultinject"
+	"voodoo/internal/tpch"
+)
+
+// TestChaosStorm runs the full storm: concurrent clients, injected
+// allocation failures / panics / slowness, client cancellations and
+// disconnects, and periodic hot catalog reloads — then drains and checks
+// the invariants: no corrupted 200 responses, no stuck registry entries,
+// no leaked pool arenas.
+//
+// CI runs this under -race with VOODOO_CHAOS_DURATION to size the storm;
+// locally it defaults to a 2s storm.
+func TestChaosStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm skipped in -short mode")
+	}
+	dur := 2 * time.Second
+	if env := os.Getenv("VOODOO_CHAOS_DURATION"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("bad VOODOO_CHAOS_DURATION %q: %v", env, err)
+		}
+		dur = d
+	}
+
+	// Storm manages its own hooks via Set/Clear; holding the faultinject
+	// test lock keeps other hook-setting tests out for the duration.
+	faultinject.With(t, faultinject.Hooks{})
+
+	gen := tpch.Config{SF: 0.01, Seed: 42}
+	rep, err := Storm(Config{
+		Cat:       tpch.Generate(gen),
+		ReloadCat: tpch.Generate(gen),
+		Duration:  dur,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("storm: %d requests (%d ok, %d failed, %d client-aborted), %d reloads",
+		rep.Requests, rep.OK, rep.Failed, rep.ClientAbort, rep.Reloads)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("storm issued no requests")
+	}
+	// CI sizes the storm and pins a request floor so the invariants were
+	// actually exercised at scale, not vacuously on a handful of queries.
+	if env := os.Getenv("VOODOO_CHAOS_MIN_REQUESTS"); env != "" {
+		min, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("bad VOODOO_CHAOS_MIN_REQUESTS %q: %v", env, err)
+		}
+		if rep.Requests < min {
+			t.Errorf("storm issued %d requests, want >= %d", rep.Requests, min)
+		}
+	}
+	if rep.OK == 0 {
+		t.Error("no request survived the storm — fault rates drowned the signal")
+	}
+	if rep.Failed == 0 && rep.ClientAbort == 0 {
+		t.Error("no request failed or aborted — the storm injected nothing")
+	}
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalDrain is the signal-handling smoke test: it builds the real
+// voodoo-serve binary, starts it on an ephemeral port, SIGTERMs it while
+// queries are in flight, and asserts a clean drain — exit code 0, the
+// drain banner on stderr, and every in-flight request answered (success
+// or an orderly shed), never a torn connection.
+func TestSignalDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "voodoo-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "voodoo/cmd/voodoo-serve").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// -concurrency 1 guarantees a queue, so a burst of clients leaves
+	// requests both executing and queued when the signal lands.
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-sf", "0.01", "-concurrency", "1", "-drain-timeout", "10s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its resolved address; everything after the
+	// listen banner is collected for the drain assertions.
+	var tail bytes.Buffer
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+			tail.WriteString(line + "\n")
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr so far:\n%s", tail.String())
+	}
+	base := "http://" + addr
+
+	const q = `SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS q
+	             FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
+	// One warm-up confirms the daemon serves before the storm of clients.
+	resp, err := http.Post(base+"/query", "text/plain", strings.NewReader(q))
+	if err != nil {
+		t.Fatalf("warm-up query: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("warm-up query: status %d", resp.StatusCode)
+	}
+
+	// Launch a burst, give it a moment to be mid-flight, then SIGTERM.
+	var wg sync.WaitGroup
+	results := make(chan error, 8)
+	for i := 0; i < cap(results); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/query", "text/plain", strings.NewReader(q))
+			if err != nil {
+				results <- fmt.Errorf("torn connection: %w", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 && resp.StatusCode != 503 {
+				results <- fmt.Errorf("unexpected status %d", resp.StatusCode)
+				return
+			}
+			results <- nil
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if err != nil {
+			t.Errorf("in-flight request during drain: %v", err)
+		}
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v\nstderr:\n%s", err, tail.String())
+	}
+	out := tail.String()
+	if !strings.Contains(out, "draining") {
+		t.Errorf("stderr missing drain banner:\n%s", out)
+	}
+	if !strings.Contains(out, "shutdown complete") {
+		t.Errorf("stderr missing shutdown banner:\n%s", out)
+	}
+}

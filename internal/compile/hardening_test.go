@@ -65,8 +65,7 @@ func TestPlanGovernorMaxBytes(t *testing.T) {
 // TestPlanFragmentPanicIsolated injects a mid-fragment panic through the
 // full compiled-plan path and asserts it surfaces as *exec.PanicError.
 func TestPlanFragmentPanicIsolated(t *testing.T) {
-	defer faultinject.Clear()
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		Item: func(frag string, gid int) { panic("injected plan bug") },
 	})
 	plan := sumPlan(t, 1024, exec.Limits{})

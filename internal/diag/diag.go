@@ -12,19 +12,42 @@ import (
 	"voodoo/internal/metrics"
 )
 
+// Health is the /healthz payload of a process with a lifecycle: its
+// serving state plus the tables the storage layer quarantined at load
+// time. State follows the daemon's life: "ready" (serving normally),
+// "degraded" (serving, but some tables are quarantined after failing
+// integrity checks), "draining" (shutting down; new queries are refused).
+type Health struct {
+	State         string             `json:"state"`
+	ActiveQueries int                `json:"active_queries"`
+	Quarantined   []QuarantinedTable `json:"quarantined,omitempty"`
+}
+
+// QuarantinedTable names one table withheld from serving and why.
+type QuarantinedTable struct {
+	Table string `json:"table"`
+	Error string `json:"error"`
+}
+
 // NewMux builds the diagnostics mux:
 //
 //	/metrics         Prometheus text exposition of reg
 //	/debug/pprof/*   the standard pprof handlers (profile, heap, trace, …)
 //	/debug/vars      expvar (the historical "voodoo" counter view)
-//	/healthz         liveness probe
+//	/healthz         liveness/readiness probe
 //	/queries         JSON: in-flight queries (live progress) + slow-query summaries
 //	/queries/slow    JSON: the slow ring with full traces
 //	/queries/cancel  POST ?id=N — cancel an in-flight query
 //
 // qr may be nil (one-shot tools expose metrics/pprof without a query
 // registry); the /queries endpoints are mounted only when it is set.
-func NewMux(reg *metrics.Registry, qr *QueryRegistry) *http.ServeMux {
+//
+// health may be nil: /healthz then answers a plain 200 "ok" (pure
+// liveness, the right shape for one-shot tools). When set, /healthz
+// reports the process's Health as JSON — 200 while ready or degraded
+// (still serving), 503 while draining so load balancers eject the
+// instance before shutdown completes.
+func NewMux(reg *metrics.Registry, qr *QueryRegistry, health func() Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -34,8 +57,17 @@ func NewMux(reg *metrics.Registry, qr *QueryRegistry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		if health == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		h := health()
+		code := http.StatusOK
+		if h.State == "draining" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
 	})
 	if qr != nil {
 		mux.HandleFunc("GET /queries", qr.handleList)
@@ -112,12 +144,13 @@ type Server struct {
 // Serve starts a diagnostics server on addr in the background and
 // returns once the listener is bound — the -diag-addr entry point for
 // one-shot tools, which want pprof and /metrics live while they run.
-func Serve(addr string, reg *metrics.Registry, qr *QueryRegistry) (*Server, error) {
+// health may be nil (plain liveness /healthz).
+func Serve(addr string, reg *metrics.Registry, qr *QueryRegistry, health func() Health) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: NewMux(reg, qr)}}
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: NewMux(reg, qr, health)}}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
 	return s, nil
 }

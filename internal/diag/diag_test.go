@@ -32,7 +32,7 @@ func TestDiagEndpointsSmoke(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.Counter("smoke_total", "A counter for the smoke test.").Add(7)
 	qr := NewQueryRegistry(4)
-	srv := httptest.NewServer(NewMux(reg, qr))
+	srv := httptest.NewServer(NewMux(reg, qr, nil))
 	defer srv.Close()
 
 	t.Run("metrics", func(t *testing.T) {
@@ -175,7 +175,7 @@ func TestDiagEndpointsSmoke(t *testing.T) {
 // TestServeBindsEphemeral: the background Serve helper binds :0, reports
 // the real address and serves /metrics until closed.
 func TestServeBindsEphemeral(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", metrics.NewRegistry(), nil)
+	s, err := Serve("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

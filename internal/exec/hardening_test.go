@@ -56,7 +56,6 @@ func TestCancelledContextAbortsBeforeWork(t *testing.T) {
 // the first fragment's loop and asserts the run stops with
 // context.Canceled before the later fragments start.
 func TestCancelAbortsMultiFragmentRunEarly(t *testing.T) {
-	defer faultinject.Clear()
 	n := 1 << 16
 	k := busyKernel(n, 4)
 	env := NewEnv(k)
@@ -64,7 +63,7 @@ func TestCancelAbortsMultiFragmentRunEarly(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int32
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		FragmentStart: func(frag string) { started.Add(1) },
 		Item: func(frag string, gid int) {
 			if frag == "f0" && gid > 0 {
@@ -82,7 +81,12 @@ func TestCancelAbortsMultiFragmentRunEarly(t *testing.T) {
 }
 
 func TestDeadlineLimitExpires(t *testing.T) {
-	defer faultinject.Clear()
+	// Slow the loop down so the deadline trips mid-fragment. Install the
+	// hooks first: With may wait for other hook-setting tests, and the
+	// deadline below must not start ticking until the lock is held.
+	faultinject.With(t, faultinject.Hooks{
+		Item: func(frag string, gid int) { time.Sleep(3 * time.Millisecond) },
+	})
 	n := 1 << 12
 	k := busyKernel(n, 1)
 	env, err := NewEnvLimited(k, Limits{Deadline: time.Now().Add(5 * time.Millisecond)})
@@ -90,10 +94,6 @@ func TestDeadlineLimitExpires(t *testing.T) {
 		t.Fatal(err)
 	}
 	bindIn(t, k, env, n)
-	// Slow the loop down so the deadline trips mid-fragment.
-	faultinject.Set(faultinject.Hooks{
-		Item: func(frag string, gid int) { time.Sleep(3 * time.Millisecond) },
-	})
 	if err := RunContext(context.Background(), k, env, 2, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
@@ -103,12 +103,11 @@ func TestDeadlineLimitExpires(t *testing.T) {
 // goroutine and asserts the process survives with a *PanicError naming
 // the fragment (run under -race in CI).
 func TestPanicIsolatedToPanicError(t *testing.T) {
-	defer faultinject.Clear()
 	n := 1 << 16
 	k := busyKernel(n, 2)
 	env := NewEnv(k)
 	bindIn(t, k, env, n)
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		Item: func(frag string, gid int) {
 			if frag == "f1" {
 				panic("injected kernel bug")
@@ -132,7 +131,6 @@ func TestPanicIsolatedToPanicError(t *testing.T) {
 }
 
 func TestPanicIsolatedSequentialFragment(t *testing.T) {
-	defer faultinject.Clear()
 	k := &kernel.Kernel{}
 	in := k.AddBuf(kernel.BufDecl{Name: "in", Kind: vector.Int, Size: 8, Input: true})
 	k.Frags = append(k.Frags, &kernel.Fragment{
@@ -143,7 +141,7 @@ func TestPanicIsolatedSequentialFragment(t *testing.T) {
 	})
 	env := NewEnv(k)
 	bindIn(t, k, env, 8)
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		Item: func(frag string, gid int) { panic("seq bug") },
 	})
 	err := RunContext(context.Background(), k, env, 1, nil)
@@ -158,12 +156,11 @@ func TestPanicIsolatedSequentialFragment(t *testing.T) {
 // chunks to completion: with one worker panicking immediately and every
 // other checkpoint sleeping, a full run would take minutes.
 func TestParallelStopsAfterFailure(t *testing.T) {
-	defer faultinject.Clear()
 	n := 1 << 20
 	k := busyKernel(n, 1)
 	env := NewEnv(k)
 	bindIn(t, k, env, n)
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		Item: func(frag string, gid int) {
 			if gid == 0 {
 				panic("first chunk fails")
@@ -213,9 +210,8 @@ func TestResourceGovernorMaxExtent(t *testing.T) {
 }
 
 func TestInjectedAllocFailure(t *testing.T) {
-	defer faultinject.Clear()
 	boom := errors.New("injected alloc failure")
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		Alloc: func(bytes int64) error { return boom },
 	})
 	k := busyKernel(16, 1)

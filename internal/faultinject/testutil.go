@@ -1,0 +1,35 @@
+package faultinject
+
+import "sync"
+
+// TB is the slice of *testing.T that With needs. Declaring it here (rather
+// than importing package testing) keeps the testing runtime out of
+// production binaries that link faultinject through the executor.
+type TB interface {
+	Helper()
+	Cleanup(func())
+}
+
+// testMu serializes hook-setting tests: hooks are process-global, so two
+// tests installing hooks concurrently would corrupt each other's faults.
+var testMu sync.Mutex
+
+// With installs h for the duration of the test, serializing against every
+// other With caller and clearing the hooks via t.Cleanup — the safe way
+// for tests to inject faults:
+//
+//	faultinject.With(t, faultinject.Hooks{Alloc: failEveryOther})
+//
+// With blocks until any other test holding the hooks finishes, so tests
+// using it may run with t.Parallel without stepping on each other. A test
+// that needs to *change* hooks mid-flight calls With once and then plain
+// Set for the follow-up installs (the lock is already held).
+func With(t TB, h Hooks) {
+	t.Helper()
+	testMu.Lock()
+	Set(h)
+	t.Cleanup(func() {
+		Clear()
+		testMu.Unlock()
+	})
+}

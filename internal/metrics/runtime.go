@@ -49,6 +49,11 @@ func (r *Registry) RegisterRuntime() {
 	}
 }
 
+// RuntimeSample reads one runtime/metrics value as a float (0 when the
+// key is unknown to the running toolchain). The serve layer's
+// memory-pressure shedder uses it for the live-heap watermark.
+func RuntimeSample(name string) float64 { return readRuntime(name) }
+
 // readRuntime samples one runtime/metrics value as a float.
 func readRuntime(name string) float64 {
 	s := [1]rm.Sample{{Name: name}}

@@ -28,8 +28,7 @@ func TestEngineRunContextCancelled(t *testing.T) {
 }
 
 func TestEngineDeadlineLimit(t *testing.T) {
-	defer faultinject.Clear()
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		FragmentStart: func(frag string) { time.Sleep(5 * time.Millisecond) },
 	})
 	e := &Engine{Cat: testCatalog(), Backend: Compiled,
@@ -62,8 +61,7 @@ func TestEngineGovernorMaxBytes(t *testing.T) {
 }
 
 func TestEnginePanicIsolated(t *testing.T) {
-	defer faultinject.Clear()
-	faultinject.Set(faultinject.Hooks{
+	faultinject.With(t, faultinject.Hooks{
 		Item: func(frag string, gid int) { panic("injected engine bug") },
 	})
 	e := &Engine{Cat: testCatalog(), Backend: Compiled}

@@ -82,6 +82,9 @@ func (l *lowerer) lower(n Node) *lowered {
 func (l *lowerer) lowerScan(s Scan) *lowered {
 	t := l.cat.Table(s.Table)
 	if t == nil {
+		if qe := l.cat.QuarantineErr(s.Table); qe != nil {
+			panic(lowerErr{fmt.Errorf("rel: table %q is quarantined: %w", s.Table, qe)})
+		}
 		l.errf("no table %q", s.Table)
 	}
 	v := l.b.Load(s.Table)
@@ -327,6 +330,9 @@ func filtered(n Node) bool {
 func firstDataCol(n Node) string {
 	switch x := n.(type) {
 	case Scan:
+		if len(x.Cols) == 0 {
+			return ""
+		}
 		return x.Cols[0]
 	case Filter:
 		return firstDataCol(x.In)
@@ -371,6 +377,12 @@ func (l *lowerer) lowerGroupAgg(g GroupAgg) *lowered {
 		if a.Func == Count {
 			base := a.E
 			if base == nil {
+				if anchor == "" {
+					// No base column anywhere under this aggregate (a
+					// zero-column Scan): an error, not a crash — the sql
+					// planner always seeds at least one scanned column.
+					panic(lowerErr{fmt.Errorf("rel: count(*) over a scan with no columns")})
+				}
 				base = Col{Name: anchor}
 			}
 			e = Bin{Op: Add, L: Bin{Op: Mul, L: base, R: IntLit{V: 0}}, R: IntLit{V: 1}}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"voodoo/internal/faultinject"
+	"voodoo/internal/storage"
+	"voodoo/internal/tpch"
+)
+
+// newLifecycleServer builds a Server plus its httptest frontend, exposing
+// the *Server for white-box lifecycle poking.
+func newLifecycleServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Cat == nil {
+		cfg.Cat = testCat
+	}
+	s := New(cfg)
+	srv := httptest.NewServer(s.Mux())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+// TestCatalogReloadEvictsPlanCache is the regression test for stale
+// plan-cache entries surviving a hot reload: before the fix they lingered
+// until LRU pressure, pinning the replaced catalog's memory.
+func TestCatalogReloadEvictsPlanCache(t *testing.T) {
+	s, srv := newLifecycleServer(t, Config{})
+
+	code, first, body := postQuery(t, srv.URL, steadySQL)
+	if code != 200 {
+		t.Fatalf("first request: status %d: %s", code, body)
+	}
+	if s.cache.len() != 1 {
+		t.Fatalf("cache holds %d plans, want 1", s.cache.len())
+	}
+
+	// Hot reload: same data (same generator seed), new catalog identity.
+	next := tpch.Generate(tpch.Config{SF: 0.01, Seed: 42})
+	s.SwapCatalog(next)
+
+	if s.cache.len() != 0 {
+		t.Fatalf("stale plan-cache entries survived the reload: %d", s.cache.len())
+	}
+	if got := s.Catalog(); got != next {
+		t.Fatalf("Catalog() did not swap")
+	}
+
+	// The same SQL recompiles against the new catalog and still answers
+	// identically (same seed ⇒ same data).
+	code, second, body := postQuery(t, srv.URL, steadySQL)
+	if code != 200 {
+		t.Fatalf("post-reload request: status %d: %s", code, body)
+	}
+	if second.Stats.Cached {
+		t.Fatalf("post-reload request claims a cache hit against the old catalog")
+	}
+	if len(second.Rows) != len(first.Rows) {
+		t.Fatalf("rows changed across reload of identical data: %d vs %d", len(second.Rows), len(first.Rows))
+	}
+	// Swapping the same catalog again is a no-op (no reload counted).
+	s.SwapCatalog(next)
+
+	// And a second identical request hits the fresh entry.
+	code, third, _ := postQuery(t, srv.URL, steadySQL)
+	if code != 200 || !third.Stats.Cached {
+		t.Fatalf("cache did not rebuild after reload (status %d, cached %v)", code, third.Stats.Cached)
+	}
+}
+
+// TestDrainingRefusesNewQueries: after StartDraining, new queries answer
+// 503 shed-draining with a Retry-After, and /healthz flips to 503
+// "draining".
+func TestDrainingRefusesNewQueries(t *testing.T) {
+	s, srv := newLifecycleServer(t, Config{})
+	s.StartDraining()
+
+	resp, err := http.Post(srv.URL+"/query", "text/plain", strings.NewReader(steadySQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	code, body := getBody(t, srv.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"state": "draining"`) {
+		t.Errorf("healthz while draining: status %d body %s", code, body)
+	}
+}
+
+// TestShutdownCancelsStuckQueries: a Shutdown whose polite wait expires
+// cancels in-flight queries through the base context and still drains.
+func TestShutdownCancelsStuckQueries(t *testing.T) {
+	s, srv := newLifecycleServer(t, Config{MaxConcurrent: 2})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var enterOnce, releaseOnce sync.Once
+	faultinject.With(t, faultinject.Hooks{Item: func(frag string, gid int) {
+		enterOnce.Do(func() { close(entered) })
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+		}
+	}})
+	defer releaseOnce.Do(func() { close(release) })
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/query", "text/plain",
+			strings.NewReader(`SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 50`))
+		if err != nil {
+			done <- 0
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-entered
+
+	// The hook keeps the worker pinned through the whole polite window, so
+	// Shutdown must escalate to the forced cancel. Only once the base
+	// context is down do we let the hook return — the worker then hits its
+	// next checkpoint, sees the cancelled context, and aborts.
+	go func() {
+		<-s.baseCtx.Done()
+		releaseOnce.Do(func() { close(release) })
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := <-done; got == 200 {
+		t.Fatalf("cancelled query reported success")
+	}
+	if n := s.QueryRegistry().ActiveCount(); n != 0 {
+		t.Fatalf("%d queries still in the registry after drain", n)
+	}
+	if live := s.PoolStats().LiveArenas; live != 0 {
+		t.Fatalf("%d arenas leaked across the drain", live)
+	}
+}
+
+// TestMemoryPressureSheds: above the heap watermark, queries are refused
+// with 503 + Retry-After and the shed counter moves.
+func TestMemoryPressureSheds(t *testing.T) {
+	s, srv := newLifecycleServer(t, Config{MemHighWater: 1})
+	heap := int64(0)
+	s.memShed.sample = func() int64 { return heap }
+
+	code, _, _ := postQuery(t, srv.URL, steadySQL)
+	if code != 200 {
+		t.Fatalf("below watermark: status %d", code)
+	}
+
+	heap = 2
+	s.memShed.lastAt.Store(0) // expire the cached sample
+	resp, err := http.Post(srv.URL+"/query", "text/plain", strings.NewReader(steadySQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("above watermark: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("memory shed missing Retry-After")
+	}
+
+	heap = 0
+	s.memShed.lastAt.Store(0)
+	if code, _, _ := postQuery(t, srv.URL, steadySQL); code != 200 {
+		t.Fatalf("after pressure receded: status %d", code)
+	}
+}
+
+// TestDeadlineAwareAdmission: when the expected queue wait already
+// exceeds the request's deadline budget and no slot is free, the request
+// is refused immediately instead of queueing to certain death.
+func TestDeadlineAwareAdmission(t *testing.T) {
+	s, srv := newLifecycleServer(t, Config{MaxConcurrent: 1, Timeout: 2 * time.Second})
+
+	// Occupy the only slot and make the queue look hopeless.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.queueEWMA.Store(int64(time.Hour))
+
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/query", "text/plain", strings.NewReader(steadySQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("doomed request: status %d, want 503", resp.StatusCode)
+	}
+	// An immediate refusal, not a 2s queue timeout.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("doomed request queued for %v before refusal", elapsed)
+	}
+
+	// With a free slot the same hopeless estimate still admits.
+	<-s.sem
+	code, _, _ := postQuery(t, srv.URL, steadySQL)
+	s.sem <- struct{}{} // restore for the deferred drain
+	if code != 200 {
+		t.Fatalf("free slot with stale estimate: status %d", code)
+	}
+}
+
+// TestDegradedModeServesHealthyTables: a catalog with a quarantined table
+// serves the healthy remainder, reports degraded health, and fails
+// queries touching the quarantined table fast with 503.
+func TestDegradedModeServesHealthyTables(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{SF: 0.01, Seed: 42})
+	cat.Quarantine("orders_gone", &storage.CorruptError{
+		Path: "orders_gone.vdb", Column: "okey", Offset: 128, Reason: "checksum mismatch",
+	})
+	_, srv := newLifecycleServer(t, Config{Cat: cat})
+
+	code, body := getBody(t, srv.URL+"/healthz")
+	if code != 200 || !strings.Contains(body, `"state": "degraded"`) || !strings.Contains(body, "orders_gone") {
+		t.Errorf("degraded healthz: status %d body %s", code, body)
+	}
+
+	// Healthy tables serve normally.
+	if code, _, body := postQuery(t, srv.URL, steadySQL); code != 200 {
+		t.Fatalf("healthy table in degraded mode: status %d: %s", code, body)
+	}
+
+	// Queries touching the quarantined table fail fast with the typed 503.
+	resp, err := http.Post(srv.URL+"/query", "text/plain",
+		strings.NewReader(`SELECT COUNT(*) AS n FROM orders_gone`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined table query: status %d, want 503", resp.StatusCode)
+	}
+}

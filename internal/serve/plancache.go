@@ -109,6 +109,33 @@ func (c *planCache) put(cat *storage.Catalog, sql string, pr *rel.Prepared) {
 	}
 }
 
+// evictCatalog drops every entry prepared against cat and returns how
+// many were dropped. Called on hot catalog reload: entries keyed by the
+// replaced catalog can never hit again (lookups use the new pointer), but
+// without explicit eviction they would linger until LRU pressure pushed
+// them out — pinning the old catalog's column storage in memory the whole
+// time.
+func (c *planCache) evictCatalog(cat *storage.Catalog) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.cat == cat {
+			c.lru.Remove(el)
+			delete(c.byKey, e.key)
+			c.evictions.Inc()
+			n++
+		}
+	}
+	return n
+}
+
 // len reports the number of cached plans.
 func (c *planCache) len() int {
 	if c == nil {

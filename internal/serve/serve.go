@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"voodoo/internal/compile"
@@ -67,6 +68,9 @@ type Config struct {
 	// NoPool disables the kernel-buffer pool; every query then allocates
 	// fresh working memory and leaves it to the garbage collector.
 	NoPool bool
+	// MemHighWater is the live-heap watermark in bytes above which new
+	// queries are shed with 503 + Retry-After (0 = shedding disabled).
+	MemHighWater int64
 	// Registry receives the server's metrics (nil = metrics.Default).
 	Registry *metrics.Registry
 }
@@ -80,11 +84,30 @@ type Server struct {
 	cache *planCache
 	pool  *vector.Pool
 
+	// cat is the served catalog; SwapCatalog replaces it atomically for
+	// hot reloads, so every request loads it exactly once.
+	cat atomic.Pointer[storage.Catalog]
+	// draining marks the terminal shutting-down state (see lifecycle.go).
+	draining atomic.Bool
+	// inflight counts requests anywhere inside handleQuery; Shutdown
+	// waits for it to reach zero.
+	inflight atomic.Int64
+	// baseCtx cancels every in-flight query when a drain runs out of
+	// patience; each request's context derives from it.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// queueEWMA is the moving average of measured admission waits in
+	// nanoseconds, feeding the deadline-aware admission gate (shed.go).
+	queueEWMA atomic.Int64
+	memShed   *memShedder
+
 	mQueue   *metrics.Histogram
 	mCompile *metrics.Histogram
 	mExec    *metrics.Histogram
 	mReqs    *metrics.CounterVec
 	mRows    *metrics.Counter
+	mShed    *metrics.CounterVec
+	mReloads *metrics.Counter
 }
 
 // New builds a Server and registers its metrics.
@@ -99,11 +122,12 @@ func New(cfg Config) *Server {
 		cfg.PlanCache = 256
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		qreg:  diag.NewQueryRegistry(cfg.SlowQueries),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		cache: newPlanCache(cfg.PlanCache, cfg.Registry),
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		qreg:    diag.NewQueryRegistry(cfg.SlowQueries),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		cache:   newPlanCache(cfg.PlanCache, cfg.Registry),
+		memShed: newMemShedder(cfg.MemHighWater),
 
 		mQueue: cfg.Registry.Histogram("voodoo_http_queue_seconds",
 			"Time requests wait for an execution slot under the admission semaphore.", nil),
@@ -115,7 +139,13 @@ func New(cfg Config) *Server {
 			"Query requests served, by HTTP status code.", "code"),
 		mRows: cfg.Registry.Counter("voodoo_rows_returned_total",
 			"Result rows returned to HTTP clients."),
+		mShed: cfg.Registry.CounterVec("voodoo_load_shed_total",
+			"Queries refused at admission, by reason (draining, memory, deadline).", "reason"),
+		mReloads: cfg.Registry.Counter("voodoo_catalog_reloads_total",
+			"Hot catalog reloads applied via SwapCatalog."),
 	}
+	s.cat.Store(cfg.Cat)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if !cfg.NoPool {
 		s.pool = vector.NewPool(0)
 	}
@@ -132,7 +162,7 @@ func (s *Server) QueryRegistry() *diag.QueryRegistry { return s.qreg }
 // Mux returns the server's full HTTP surface: the query endpoints
 // mounted over the diagnostics mux.
 func (s *Server) Mux() *http.ServeMux {
-	mux := diag.NewMux(s.reg, s.qreg)
+	mux := diag.NewMux(s.reg, s.qreg, s.Health)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/{$}", s.handleIndex)
 	return mux
@@ -186,8 +216,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "method", fmt.Errorf("use GET or POST"))
 		return
 	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	// Admission gate 1: a draining server refuses new work outright.
+	if s.draining.Load() {
+		s.shed(w, "draining", fmt.Errorf("server is draining for shutdown"))
+		return
+	}
+	// Admission gate 2: above the live-heap watermark every new query is
+	// shed — the process is closer to the OOM killer than to spare
+	// capacity, and refusals are the only load it can still take.
+	if s.memShed.over() {
+		s.shed(w, "memory", fmt.Errorf("server heap above the load-shedding watermark"))
+		return
+	}
+
 	arrived := time.Now()
-	ctx := r.Context()
+	// Every request derives from baseCtx so a forced drain can cancel all
+	// in-flight queries at once, and from the client connection so a
+	// disconnect cancels just this one.
+	ctx, cancelReq := context.WithCancel(r.Context())
+	defer cancelReq()
+	stopAfter := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stopAfter()
 	var deadline time.Time
 	if s.cfg.Timeout > 0 {
 		deadline = arrived.Add(s.cfg.Timeout)
@@ -202,24 +254,48 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission gate 3: a request whose remaining deadline budget is
+	// already smaller than the measured queue wait is doomed — unless a
+	// slot is free right now, refuse it instead of queueing it to die.
+	admitted := false
+	if dl, ok := ctx.Deadline(); ok {
+		if est := s.expectedQueueWait(); est > 0 && time.Until(dl) < est {
+			select {
+			case s.sem <- struct{}{}:
+				admitted = true
+			default:
+				s.shed(w, "deadline", fmt.Errorf(
+					"deadline budget %v is below the expected queue wait %v",
+					time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond)))
+				return
+			}
+		}
+	}
 	// Admission: wait for an execution slot; the wait is the queue-time
 	// histogram and counts against the request deadline.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.fail(w, http.StatusServiceUnavailable, "queue",
-			fmt.Errorf("timed out waiting for an execution slot: %w", ctx.Err()))
-		return
+	if !admitted {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.fail(w, http.StatusServiceUnavailable, "queue",
+				fmt.Errorf("timed out waiting for an execution slot: %w", ctx.Err()))
+			return
+		}
 	}
+	defer func() { <-s.sem }()
 	queueWait := time.Since(arrived)
 	s.mQueue.Observe(queueWait.Seconds())
+	s.noteQueueWait(queueWait)
+
+	// The catalog pointer is pinned here for the whole request: a
+	// concurrent SwapCatalog must never mix two catalogs in one query.
+	cat := s.cat.Load()
 
 	// The engine is per-request (it carries the request context, trace
 	// sink and deadline below) but shares the server-wide buffer pool, so
 	// working memory recycles across requests.
 	e := &rel.Engine{
-		Cat: s.cfg.Cat, Backend: s.cfg.Backend, Opt: s.cfg.Opt,
+		Cat: cat, Backend: s.cfg.Backend, Opt: s.cfg.Opt,
 		Limits: s.cfg.Limits,
 		Pool:   s.pool,
 	}
@@ -241,7 +317,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		norm := normalizeSQL(src)
 		lookupStart := time.Now()
-		pr, cached = s.cache.get(s.cfg.Cat, norm)
+		pr, cached = s.cache.get(cat, norm)
 		lookupDur = time.Since(lookupStart)
 		if !cached {
 			compileStart := time.Now()
@@ -251,17 +327,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			var q rel.Query
-			if q, err = sql.Plan(stmt, s.cfg.Cat); err != nil {
-				s.fail(w, http.StatusBadRequest, "plan", err)
+			if q, err = sql.Plan(stmt, cat); err != nil {
+				s.failPlan(w, err)
 				return
 			}
 			q.Name = src
 			if pr, err = e.Prepare(q); err != nil {
-				s.fail(w, http.StatusBadRequest, "plan", err)
+				s.failPlan(w, err)
 				return
 			}
 			compileDur = time.Since(compileStart)
-			s.cache.put(s.cfg.Cat, norm, pr)
+			s.cache.put(cat, norm, pr)
 		}
 	}
 	s.mCompile.Observe(compileDur.Seconds())
@@ -359,6 +435,10 @@ func statusFor(err error) (int, string) {
 	case errors.Is(err, exec.ErrResourceExhausted):
 		return http.StatusTooManyRequests, "resource"
 	default:
+		var ce *storage.CorruptError
+		if errors.As(err, &ce) {
+			return http.StatusServiceUnavailable, "quarantined"
+		}
 		var pe *exec.PanicError
 		if errors.As(err, &pe) {
 			return http.StatusInternalServerError, "panic"
@@ -370,6 +450,26 @@ func statusFor(err error) (int, string) {
 func (s *Server) fail(w http.ResponseWriter, code int, kind string, err error) {
 	s.count(code)
 	writeJSON(w, code, queryError{Error: err.Error(), Kind: kind})
+}
+
+// failPlan maps a planning error: queries touching a quarantined table
+// fail fast with 503 (the data is unavailable, the query may be fine);
+// everything else is the client's 400.
+func (s *Server) failPlan(w http.ResponseWriter, err error) {
+	var ce *storage.CorruptError
+	if errors.As(err, &ce) {
+		s.fail(w, http.StatusServiceUnavailable, "quarantined", err)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, "plan", err)
+}
+
+// shed refuses a request at admission with 503 + Retry-After and counts
+// the refusal by reason.
+func (s *Server) shed(w http.ResponseWriter, reason string, err error) {
+	s.mShed.With(reason).Inc()
+	w.Header().Set("Retry-After", "1")
+	s.fail(w, http.StatusServiceUnavailable, "shed-"+reason, err)
 }
 
 func (s *Server) count(code int) { s.mReqs.With(strconv.Itoa(code)).Inc() }

@@ -151,11 +151,10 @@ func TestServeLiveProgressAndCancel(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	faultinject.Set(faultinject.Hooks{Item: func(frag string, gid int) {
+	faultinject.With(t, faultinject.Hooks{Item: func(frag string, gid int) {
 		once.Do(func() { close(entered) })
 		<-release
 	}})
-	defer faultinject.Clear()
 
 	done := make(chan struct {
 		code int

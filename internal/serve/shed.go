@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"voodoo/internal/metrics"
+)
+
+// Load shedding: two admission gates that refuse work the process could
+// only fail at, both answering 503 with a Retry-After so well-behaved
+// clients back off instead of hammering a struggling daemon.
+//
+//   - Memory pressure: above a configured live-heap watermark every new
+//     query is shed. The governor already bounds a single query's
+//     allocations; the watermark bounds their sum — queries are refused
+//     before they can push the process toward the OOM killer.
+//   - Doomed deadlines: admission keeps an exponentially-weighted moving
+//     average of measured queue waits. A request whose remaining deadline
+//     budget is smaller than the current expected wait is refused
+//     immediately (unless a slot happens to be free right now) — queueing
+//     it would burn a semaphore turn on work guaranteed to time out.
+
+// memShedder samples the live heap at most once per samplePeriod and
+// compares it against the high watermark. Sampling is cheap (~hundreds of
+// nanoseconds) but not free, so concurrent requests share one cached
+// reading.
+type memShedder struct {
+	high    int64
+	sample  func() int64 // overridable in tests
+	lastAt  atomic.Int64 // unix nanos of the cached sample
+	lastVal atomic.Int64
+}
+
+const memSamplePeriod = 100 * time.Millisecond
+
+func newMemShedder(highWater int64) *memShedder {
+	if highWater <= 0 {
+		return nil
+	}
+	return &memShedder{
+		high:   highWater,
+		sample: func() int64 { return int64(metrics.RuntimeSample("/memory/classes/heap/objects:bytes")) },
+	}
+}
+
+// over reports whether the live heap exceeds the watermark. Nil-safe
+// (shedding disabled).
+func (m *memShedder) over() bool {
+	if m == nil {
+		return false
+	}
+	now := time.Now().UnixNano()
+	last := m.lastAt.Load()
+	if now-last > int64(memSamplePeriod) && m.lastAt.CompareAndSwap(last, now) {
+		m.lastVal.Store(m.sample())
+	}
+	return m.lastVal.Load() > m.high
+}
+
+// noteQueueWait folds one measured admission wait into the EWMA the
+// deadline gate consults. Racing updates may drop a sample; the estimate
+// is advisory, so that is fine.
+func (s *Server) noteQueueWait(wait time.Duration) {
+	old := s.queueEWMA.Load()
+	if old == 0 {
+		s.queueEWMA.Store(int64(wait))
+		return
+	}
+	s.queueEWMA.Store((3*old + int64(wait)) / 4)
+}
+
+// expectedQueueWait is the current queue-wait estimate.
+func (s *Server) expectedQueueWait() time.Duration {
+	return time.Duration(s.queueEWMA.Load())
+}

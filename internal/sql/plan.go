@@ -38,6 +38,12 @@ func (pl *planner) plan() (rel.Query, error) {
 	for _, t := range pl.tables {
 		tb := pl.cat.Table(t)
 		if tb == nil {
+			// A quarantined table propagates its typed corruption error so
+			// the serving layer can answer 503 (data unavailable) instead
+			// of 400 (bad query).
+			if qe := pl.cat.QuarantineErr(t); qe != nil {
+				return q, fmt.Errorf("sql: table %q is quarantined: %w", t, qe)
+			}
 			return q, pl.errf("no table %q", t)
 		}
 		pl.needed[t] = map[string]bool{}
@@ -73,6 +79,16 @@ func (pl *planner) plan() (rel.Query, error) {
 		}
 		if err := pl.noteCols(ColRef{Name: j.R}); err != nil {
 			return q, err
+		}
+	}
+
+	// A query referencing no columns at all (SELECT COUNT(*) FROM t with
+	// no WHERE) still needs one column scanned: COUNT(*) lowers to an
+	// ε-aware sum anchored on a base column, and a zero-column scan has
+	// nothing to size its fragments by.
+	if len(pl.needed[pl.stmt.From]) == 0 {
+		if defs := pl.cat.Table(pl.stmt.From).Defs(); len(defs) > 0 {
+			pl.needed[pl.stmt.From][defs[0].Name] = true
 		}
 	}
 

@@ -257,3 +257,17 @@ func TestHavingErrors(t *testing.T) {
 		t.Fatal("expected error for unknown having column")
 	}
 }
+
+// TestBareCountStar is the regression test for SELECT COUNT(*) with no
+// WHERE and no other column reference: the scan used to come out with
+// zero columns and the lowerer crashed looking for a count anchor.
+func TestBareCountStar(t *testing.T) {
+	res := run(t, "SELECT COUNT(*) AS n FROM orders")
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	want := float64(cat.Table("orders").N)
+	if got := res.Rows[0]["n"]; got != want {
+		t.Fatalf("COUNT(*) = %v, want %v", got, want)
+	}
+}

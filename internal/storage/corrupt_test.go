@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// saveSample writes the sample table to a fresh file and returns its path
+// and raw bytes, the raw material for the corruption corpus.
+func saveSample(t *testing.T) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "orders.vdb")
+	if err := sample().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestLoadTableCorruptionCorpus is the table-driven error-path corpus for
+// LoadTable: every malformed input must yield a typed *CorruptError (never
+// a panic, never a silently wrong table), and no partial table may leak
+// out alongside the error.
+func TestLoadTableCorruptionCorpus(t *testing.T) {
+	_, good := saveSample(t)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string // substring expected in the error text
+		wantCol string // expected CorruptError.Column ("" = header)
+	}{
+		{"zero-length", func(b []byte) []byte { return nil }, "truncated", ""},
+		{"truncated-magic", func(b []byte) []byte { return b[:4] }, "truncated", ""},
+		{"truncated-header", func(b []byte) []byte { return b[:len(magic)+2] }, "truncated", ""},
+		{"truncated-mid-column", func(b []byte) []byte { return b[:len(b)/2] }, "truncated", ""},
+		{"truncated-last-checksum", func(b []byte) []byte { return b[:len(b)-2] }, "checksum", "status"},
+		{"wrong-version", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			copy(out, magicV1)
+			return out
+		}, "unsupported format version", ""},
+		{"bad-magic", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			copy(out, "GARBAGE!")
+			return out
+		}, "bad magic", ""},
+		{"bit-flip-in-data", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-24] ^= 0x40 // inside the last column's payload
+			return out
+		}, "checksum mismatch", "status"},
+		{"bit-flip-in-first-column", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(magic)+30] ^= 0x01 // inside okey's payload
+			return out
+		}, "checksum mismatch", ""}, // column name may itself be the flipped byte's victim
+		{"implausible-row-count", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			// The row count sits after magic + name (int32 len + "orders").
+			off := len(magic) + 4 + len("orders")
+			binary.LittleEndian.PutUint64(out[off:], 1<<40)
+			return out
+		}, "implausible table shape", ""},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "bad.vdb")
+			if err := os.WriteFile(path, tc.mutate(append([]byte(nil), good...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tb, err := LoadTable(path)
+			if err == nil {
+				t.Fatalf("LoadTable accepted corrupt input")
+			}
+			if tb != nil {
+				t.Fatalf("partial table leaked alongside error %v", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is %T, want *CorruptError: %v", err, err)
+			}
+			if ce.Path != path {
+				t.Errorf("CorruptError.Path = %q, want %q", ce.Path, path)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if tc.wantCol != "" && ce.Column != tc.wantCol {
+				t.Errorf("CorruptError.Column = %q, want %q", ce.Column, tc.wantCol)
+			}
+		})
+	}
+}
+
+// TestLoadDegradedQuarantines: a directory with one corrupt and one
+// healthy table loads in degraded mode — the healthy table serves, the
+// corrupt one is quarantined with its typed error, and the strict Load
+// refuses the whole directory.
+func TestLoadDegradedQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	if err := NewCatalog().Add(sample()).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := NewTable("customer").AddInt("ckey", []int64{1, 2, 3})
+	if err := other.Save(filepath.Join(dir, "customer.vdb")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the orders file's data region.
+	path := filepath.Join(dir, "orders.vdb")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-16] ^= 0x08
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := LoadDegraded(dir)
+	if err != nil {
+		t.Fatalf("LoadDegraded failed outright: %v", err)
+	}
+	if c.Table("customer") == nil {
+		t.Fatal("healthy table missing from degraded catalog")
+	}
+	if c.Table("orders") != nil {
+		t.Fatal("corrupt table visible in degraded catalog")
+	}
+	if q := c.Quarantined(); len(q) != 1 || q[0] != "orders" {
+		t.Fatalf("Quarantined() = %v, want [orders]", q)
+	}
+	if qe := c.QuarantineErr("orders"); qe == nil || !strings.Contains(qe.Error(), "checksum mismatch") {
+		t.Fatalf("QuarantineErr(orders) = %v", qe)
+	}
+
+	if _, err := Load(dir); err == nil {
+		t.Fatal("strict Load accepted a directory with a corrupt table")
+	} else {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("strict Load error is %T, want *CorruptError", err)
+		}
+	}
+}

@@ -14,11 +14,14 @@ package storage
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"voodoo/internal/vector"
 )
@@ -203,11 +206,41 @@ func (t *Table) Vector() *vector.Vector {
 type Catalog struct {
 	tables map[string]*Table
 	extra  map[string]*vector.Vector // vectors persisted by programs
+	// quarantined names tables whose files failed integrity checks at
+	// load time: the table is absent from tables, but the catalog
+	// remembers why so the frontends can fail such queries fast with the
+	// typed corruption error instead of a generic "no table".
+	quarantined map[string]*CorruptError
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{tables: map[string]*Table{}, extra: map[string]*vector.Vector{}}
+}
+
+// Quarantine records that the named table's file failed integrity
+// verification and is unavailable. Quarantined tables are invisible to
+// Table but reported by Quarantined and QuarantineErr.
+func (c *Catalog) Quarantine(name string, err *CorruptError) *Catalog {
+	if c.quarantined == nil {
+		c.quarantined = map[string]*CorruptError{}
+	}
+	c.quarantined[name] = err
+	return c
+}
+
+// QuarantineErr returns the corruption error that quarantined the named
+// table, or nil when the table is healthy (or simply unknown).
+func (c *Catalog) QuarantineErr(name string) *CorruptError { return c.quarantined[name] }
+
+// Quarantined returns the quarantined table names in sorted order.
+func (c *Catalog) Quarantined() []string {
+	var names []string
+	for n := range c.quarantined {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Add registers a table.
@@ -258,7 +291,44 @@ func (c *Catalog) PersistVector(name string, v *vector.Vector) error {
 
 // ---- Binary persistence -------------------------------------------------
 
-const magic = "VOODOO01"
+// The on-disk format is versioned through the magic string. VOODOO02
+// appends a CRC32C (Castagnoli) checksum after every column's payload
+// (name, kind, dictionary and data), so bit rot and truncation are
+// detected at load time instead of surfacing as wrong query answers.
+// VOODOO01 files (no checksums) are no longer readable; regenerate them
+// with tpchgen.
+const (
+	magic   = "VOODOO02"
+	magicV1 = "VOODOO01"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports a table file whose content failed validation:
+// truncation, an unsupported format version, an implausible header, or a
+// checksum mismatch. Path is always set; Column and Offset narrow the
+// damage down when the failure is inside a column payload.
+type CorruptError struct {
+	Path   string
+	Column string // the column being read when corruption was found ("" = header)
+	Offset int64  // byte offset of the corrupt region's start
+	Reason string
+	Err    error // underlying I/O error, when one triggered the failure
+}
+
+func (e *CorruptError) Error() string {
+	msg := fmt.Sprintf("storage: corrupt table file %s", e.Path)
+	if e.Column != "" {
+		msg += fmt.Sprintf(", column %q", e.Column)
+	}
+	msg += fmt.Sprintf(" at offset %d: %s", e.Offset, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
 
 // Save writes the catalog's tables under dir, one file per table.
 func (c *Catalog) Save(dir string) error {
@@ -273,8 +343,26 @@ func (c *Catalog) Save(dir string) error {
 	return nil
 }
 
-// Load reads every *.vdb table under dir.
+// Load reads every *.vdb table under dir, failing on the first corrupt
+// file. One-shot tools want this strict behavior; a daemon that should
+// keep serving the healthy remainder uses LoadDegraded instead.
 func Load(dir string) (*Catalog, error) {
+	c, err := LoadDegraded(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range c.Quarantined() {
+		return nil, c.QuarantineErr(name)
+	}
+	return c, nil
+}
+
+// LoadDegraded reads every *.vdb table under dir, quarantining (instead
+// of failing on) tables whose files are corrupt or truncated. The error
+// is non-nil only for environmental failures (unreadable directory,
+// permission errors); integrity failures land in Catalog.Quarantined so
+// a daemon can start in degraded mode and keep serving healthy tables.
+func LoadDegraded(dir string) (*Catalog, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -286,6 +374,13 @@ func Load(dir string) (*Catalog, error) {
 		}
 		t, err := LoadTable(filepath.Join(dir, e.Name()))
 		if err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				// The table name inside the file may be unreadable; fall
+				// back to the file's base name.
+				c.Quarantine(strings.TrimSuffix(e.Name(), ".vdb"), ce)
+				continue
+			}
 			return nil, fmt.Errorf("storage: loading %s: %w", e.Name(), err)
 		}
 		c.Add(t)
@@ -314,59 +409,94 @@ func (t *Table) Save(path string) error {
 		return err
 	}
 	for _, d := range t.defs {
-		if err := writeString(w, d.Name); err != nil {
+		// The column payload streams through the CRC as it is written;
+		// the sum lands right after the payload so readers can verify
+		// column-by-column without a second pass.
+		h := crc32.New(castagnoli)
+		cw := io.MultiWriter(w, h)
+		if err := writeString(cw, d.Name); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint8(d.Kind)); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint8(d.Kind)); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, int64(len(d.Dict))); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, int64(len(d.Dict))); err != nil {
 			return err
 		}
 		for _, s := range d.Dict {
-			if err := writeString(w, s); err != nil {
+			if err := writeString(cw, s); err != nil {
 				return err
 			}
 		}
 		col := t.cols[d.Name]
 		if d.Kind == vector.Int {
-			if err := binary.Write(w, binary.LittleEndian, col.Ints()); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, col.Ints()); err != nil {
 				return err
 			}
 		} else {
-			if err := binary.Write(w, binary.LittleEndian, col.Floats()); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, col.Floats()); err != nil {
 				return err
 			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, h.Sum32()); err != nil {
+			return err
 		}
 	}
 	return w.Flush()
 }
 
-// LoadTable reads a table from the binary column format.
+// countingReader tracks how many bytes have been consumed, so corruption
+// reports can name the offset of the damage.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// LoadTable reads a table from the binary column format, verifying the
+// format version and every column's CRC32C checksum. Malformed content —
+// truncation, bad magic, an unsupported version, implausible headers, or
+// a checksum mismatch — is reported as a *CorruptError naming the file,
+// column and offset; no partially-read table ever escapes.
 func LoadTable(path string) (*Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
+	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
+	corrupt := func(column string, offset int64, reason string, cause error) error {
+		if cause == io.EOF || cause == io.ErrUnexpectedEOF {
+			reason, cause = "truncated: "+reason, nil
+		}
+		return &CorruptError{Path: path, Column: column, Offset: offset, Reason: reason, Err: cause}
+	}
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return nil, corrupt("", 0, "reading magic", err)
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("bad magic %q", head)
+	switch string(head) {
+	case magic:
+	case magicV1:
+		return nil, corrupt("", 0, fmt.Sprintf("unsupported format version %q (current is %q; regenerate with tpchgen)", magicV1, magic), nil)
+	default:
+		return nil, corrupt("", 0, fmt.Sprintf("bad magic %q (not a voodoo table file)", head), nil)
 	}
-	name, err := readString(r)
+	name, err := readString(cr)
 	if err != nil {
-		return nil, err
+		return nil, corrupt("", cr.n, "reading table name", err)
 	}
 	var n, ncols int64
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return nil, err
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+		return nil, corrupt("", cr.n, "reading row count", err)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &ncols); err != nil {
-		return nil, err
+	if err := binary.Read(cr, binary.LittleEndian, &ncols); err != nil {
+		return nil, corrupt("", cr.n, "reading column count", err)
 	}
 	// A corrupt or hostile header must not drive allocation: every row
 	// costs at least 8 bytes per column in the file, so bound the claimed
@@ -376,43 +506,60 @@ func LoadTable(path string) (*Table, error) {
 		return nil, err
 	}
 	if n < 0 || ncols <= 0 || ncols > 1<<16 || n > fi.Size()/8+1 {
-		return nil, fmt.Errorf("implausible table shape: %d rows x %d columns in a %d-byte file", n, ncols, fi.Size())
+		return nil, corrupt("", 0, fmt.Sprintf("implausible table shape: %d rows x %d columns in a %d-byte file", n, ncols, fi.Size()), nil)
 	}
 	t := NewTable(name)
 	for i := int64(0); i < ncols; i++ {
-		cname, err := readString(r)
+		colStart := cr.n
+		h := crc32.New(castagnoli)
+		tr := io.TeeReader(cr, h)
+		cname, err := readString(tr)
 		if err != nil {
-			return nil, err
+			return nil, corrupt("", cr.n, fmt.Sprintf("reading name of column %d", i), err)
 		}
 		var kind uint8
-		if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
-			return nil, err
+		if err := binary.Read(tr, binary.LittleEndian, &kind); err != nil {
+			return nil, corrupt(cname, cr.n, "reading column kind", err)
+		}
+		if k := vector.Kind(kind); k != vector.Int && k != vector.Float {
+			return nil, corrupt(cname, colStart, fmt.Sprintf("unknown column kind %d", kind), nil)
 		}
 		var dictLen int64
-		if err := binary.Read(r, binary.LittleEndian, &dictLen); err != nil {
-			return nil, err
+		if err := binary.Read(tr, binary.LittleEndian, &dictLen); err != nil {
+			return nil, corrupt(cname, cr.n, "reading dictionary length", err)
 		}
 		if dictLen < 0 || dictLen > fi.Size() {
-			return nil, fmt.Errorf("implausible dictionary length %d for column %q", dictLen, cname)
+			return nil, corrupt(cname, colStart, fmt.Sprintf("implausible dictionary length %d", dictLen), nil)
 		}
 		dict := make([]string, dictLen)
 		for j := range dict {
-			if dict[j], err = readString(r); err != nil {
-				return nil, err
+			if dict[j], err = readString(tr); err != nil {
+				return nil, corrupt(cname, cr.n, fmt.Sprintf("reading dictionary entry %d", j), err)
 			}
 		}
+		var ints []int64
+		var floats []float64
 		if vector.Kind(kind) == vector.Int {
-			vals := make([]int64, n)
-			if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
-				return nil, err
-			}
-			t.AddInt(cname, vals)
+			ints = make([]int64, n)
+			err = binary.Read(tr, binary.LittleEndian, ints)
 		} else {
-			vals := make([]float64, n)
-			if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
-				return nil, err
-			}
-			t.AddFloat(cname, vals)
+			floats = make([]float64, n)
+			err = binary.Read(tr, binary.LittleEndian, floats)
+		}
+		if err != nil {
+			return nil, corrupt(cname, cr.n, "reading column data", err)
+		}
+		var want uint32
+		if err := binary.Read(cr, binary.LittleEndian, &want); err != nil {
+			return nil, corrupt(cname, cr.n, "reading column checksum", err)
+		}
+		if got := h.Sum32(); got != want {
+			return nil, corrupt(cname, colStart, fmt.Sprintf("checksum mismatch: file says %08x, payload hashes to %08x", want, got), nil)
+		}
+		if ints != nil {
+			t.AddInt(cname, ints)
+		} else {
+			t.AddFloat(cname, floats)
 		}
 		if dictLen > 0 {
 			t.defs[len(t.defs)-1].Dict = dict

@@ -65,6 +65,11 @@ type Pool struct {
 	maxRetained int64
 
 	hits, misses, recycled atomic.Int64
+	// live counts arenas handed out by NewArena that have not been
+	// released yet. A serving process that has drained all queries must
+	// read zero here; anything else is a leak (a query path that dropped
+	// its arena without Release), which the chaos harness gates on.
+	live atomic.Int64
 }
 
 // DefaultMaxRetained bounds a pool's idle free-list footprint (1 GiB)
@@ -86,6 +91,7 @@ type PoolStats struct {
 	Misses        int64 // requests that hit the Go allocator
 	RecycledBytes int64 // bytes accepted back by Release
 	RetainedBytes int64 // current free-list footprint
+	LiveArenas    int64 // arenas handed out and not yet released
 }
 
 // Stats snapshots the pool's counters.
@@ -98,6 +104,7 @@ func (p *Pool) Stats() PoolStats {
 		Misses:        p.misses.Load(),
 		RecycledBytes: p.recycled.Load(),
 		RetainedBytes: retained,
+		LiveArenas:    p.live.Load(),
 	}
 }
 
@@ -109,6 +116,7 @@ func (p *Pool) NewArena() *Arena {
 	if p == nil {
 		return nil
 	}
+	p.live.Add(1)
 	return &Arena{pool: p}
 }
 
@@ -340,6 +348,7 @@ func (a *Arena) Release() {
 	p.mu.Unlock()
 	p.recycled.Add(recycled)
 	poolRecycled.Add(recycled)
+	p.live.Add(-1)
 	a.ints, a.floats, a.bools = nil, nil, nil
 	a.pool = nil
 }
