@@ -182,6 +182,13 @@ func runCI(outPath, basePath string, writeBaseline bool) error {
 	if err != nil {
 		return err
 	}
+	// The scaling check measures real wall clock, so its figures stay out
+	// of the committed (deterministic) baseline; it soft-gates below like
+	// the allocation counters.
+	var scalingWarns []string
+	if !writeBaseline {
+		scalingWarns = bench.ScalingCheck(rep)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -207,9 +214,13 @@ func runCI(outPath, basePath string, writeBaseline bool) error {
 	for _, v := range violations {
 		fmt.Fprintln(os.Stderr, "ci: REGRESSION:", v)
 	}
-	// Allocation counters gate softly: a warning flags the growth but a
-	// wobbling GC never breaks the build.
+	// Allocation counters and the parallel-scaling check gate softly: a
+	// warning flags the problem but GC wobble or a loaded runner never
+	// breaks the build.
 	for _, v := range bench.CompareCIAllocs(rep, &base, 0.25) {
+		fmt.Fprintln(os.Stderr, "ci: WARNING:", v)
+	}
+	for _, v := range scalingWarns {
 		fmt.Fprintln(os.Stderr, "ci: WARNING:", v)
 	}
 	if len(violations) > 0 {

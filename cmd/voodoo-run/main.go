@@ -53,6 +53,7 @@ func main() {
 	qnum := flag.Int("q", 0, "run this TPC-H query number instead of a SQL string")
 	progFile := flag.String("prog", "", "run a textual Voodoo program (paper SSA notation) from this file")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (e.g. 500ms; 0 = unlimited)")
+	morsel := flag.Int("morsel", 0, "scheduling granularity of parallel fragments in work items (0 = default)")
 	maxMem := flag.String("max-mem", "", "per-query buffer allocation budget (e.g. 64m, 1g; empty = unlimited)")
 	explain := flag.Bool("explain", false, "print the static execution plan (TPC-H -q queries still execute, to drive multi-phase lowering)")
 	analyze := flag.Bool("explain-analyze", false, "run the query and print the plan with measured per-step times, items and bytes")
@@ -106,6 +107,7 @@ func main() {
 	}
 	e.Opt = compile.Options{Predication: *predicate}
 	e.Limits = limits
+	e.MorselSize = *morsel
 
 	if *progFile != "" {
 		src, err := os.ReadFile(*progFile)

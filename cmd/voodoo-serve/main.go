@@ -9,7 +9,7 @@
 //	voodoo-serve [-addr :8080] [-diag-addr ADDR]
 //	             [-sf SF] [-data DIR] [-backend compiled|interp|bulk] [-predicate]
 //	             [-timeout 30s] [-max-mem 1g] [-max-extent N] [-max-heap 4g]
-//	             [-concurrency N] [-slow N] [-plan-cache N] [-no-pool]
+//	             [-concurrency N] [-morsel N] [-slow N] [-plan-cache N] [-no-pool]
 //	             [-drain-timeout 10s]
 //
 // Lifecycle signals:
@@ -71,6 +71,7 @@ func main() {
 	maxMem := flag.String("max-mem", "", "per-request buffer allocation budget (e.g. 64m, 1g; empty = unlimited)")
 	maxExtent := flag.Int("max-extent", 0, "per-request fragment extent cap (0 = unlimited)")
 	concurrency := flag.Int("concurrency", 0, "max queries executing at once (0 = GOMAXPROCS); excess requests queue")
+	morsel := flag.Int("morsel", 0, "scheduling granularity of parallel fragments in work items (0 = default)")
 	slowN := flag.Int("slow", 16, "retain full traces of the N slowest queries")
 	planCache := flag.Int("plan-cache", 0, "compiled-plan cache capacity in entries (0 = 256, negative disables)")
 	noPool := flag.Bool("no-pool", false, "disable the kernel-buffer pool (each query allocates fresh)")
@@ -105,6 +106,7 @@ func main() {
 		Limits:        limits,
 		Timeout:       *timeout,
 		MaxConcurrent: *concurrency,
+		MorselSize:    *morsel,
 		SlowQueries:   *slowN,
 		PlanCache:     *planCache,
 		NoPool:        *noPool,
@@ -165,6 +167,9 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		srv.Close()
 	}
+	// Last: stop the shared morsel pool so the process exits with no
+	// scheduler goroutines behind it.
+	exec.QuiesceScheduler()
 	fmt.Fprintln(os.Stderr, "voodoo-serve: shutdown complete")
 }
 

@@ -179,6 +179,9 @@ func CompareCI(cur, base *CIReport, tol float64) []string {
 		if isAllocKey(name) {
 			continue // soft-gated by CompareCIAllocs
 		}
+		if strings.HasPrefix(name, "scaling/") {
+			continue // real wall clock, soft-gated by ScalingCheck
+		}
 		bv := base.Medians[name]
 		cv, ok := cur.Medians[name]
 		if !ok {

@@ -11,7 +11,9 @@
 //     (cols + rows) to its pre-storm golden — faults may fail a query,
 //     they must never corrupt one;
 //   - no query is stuck in the registry after the drain;
-//   - no pooled arena leaked across the storm.
+//   - no pooled arena leaked across the storm;
+//   - no morsel-pool worker goroutine or published job survives the
+//     post-drain scheduler quiesce.
 //
 // Hooks are process-global, so callers running under `go test` should
 // hold the faultinject test lock (faultinject.With with empty Hooks)
@@ -30,6 +32,8 @@ import (
 	"sync"
 	"time"
 
+	"voodoo/internal/compile"
+	"voodoo/internal/exec"
 	"voodoo/internal/faultinject"
 	"voodoo/internal/serve"
 	"voodoo/internal/storage"
@@ -72,6 +76,11 @@ type Report struct {
 	Mismatches   []string // golden violations: query + diff summary
 	StuckQueries int      // registry entries alive after the drain
 	LeakedArenas int64    // pooled arenas still live after the drain
+	// LeakedWorkers counts morsel-pool goroutines still alive after the
+	// post-drain scheduler quiesce; StuckJobs counts fragments still
+	// published to the pool. Both must be zero after a clean drain.
+	LeakedWorkers int
+	StuckJobs     int
 }
 
 // Err flattens invariant violations into one error, nil when the storm
@@ -86,6 +95,12 @@ func (r *Report) Err() error {
 	}
 	if r.LeakedArenas > 0 {
 		probs = append(probs, fmt.Sprintf("%d leaked arenas", r.LeakedArenas))
+	}
+	if r.LeakedWorkers > 0 {
+		probs = append(probs, fmt.Sprintf("%d leaked scheduler workers", r.LeakedWorkers))
+	}
+	if r.StuckJobs > 0 {
+		probs = append(probs, fmt.Sprintf("%d jobs stuck in the scheduler", r.StuckJobs))
 	}
 	if len(probs) == 0 {
 		return nil
@@ -174,7 +189,11 @@ func Storm(cfg Config) (*Report, error) {
 	}
 
 	s := serve.New(serve.Config{
-		Cat:           cfg.Cat,
+		Cat: cfg.Cat,
+		// Four workers per fragment regardless of GOMAXPROCS, so the storm
+		// exercises the shared morsel pool (publish/claim/abort under
+		// faults) even on single-CPU CI runners.
+		Opt:           compile.Options{Workers: 4},
 		MaxConcurrent: 8,
 		Timeout:       10 * time.Second,
 	})
@@ -329,5 +348,12 @@ func Storm(cfg Config) (*Report, error) {
 	}
 	rep.StuckQueries = s.QueryRegistry().ActiveCount()
 	rep.LeakedArenas = s.PoolStats().LiveArenas
+	// The drained daemon must leave the shared morsel pool empty: quiesce
+	// it (as voodoo-serve does last in its SIGTERM path) and assert no
+	// worker goroutine or published job survives.
+	exec.QuiesceScheduler()
+	sst := exec.SchedulerStats()
+	rep.LeakedWorkers = sst.Workers
+	rep.StuckJobs = sst.ActiveJobs
 	return &rep, nil
 }

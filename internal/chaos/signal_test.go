@@ -47,7 +47,9 @@ func TestSignalDrain(t *testing.T) {
 	// listen banner is collected for the drain assertions.
 	var tail bytes.Buffer
 	addrCh := make(chan string, 1)
+	stderrDone := make(chan struct{})
 	go func() {
+		defer close(stderrDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -115,6 +117,13 @@ func TestSignalDrain(t *testing.T) {
 		}
 	}
 
+	// Drain stderr to EOF before reaping: cmd.Wait closes the pipe, which
+	// would race the scanner out of the final banner lines.
+	select {
+	case <-stderrDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never closed stderr after SIGTERM; stderr so far:\n%s", tail.String())
+	}
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("daemon exited uncleanly: %v\nstderr:\n%s", err, tail.String())
 	}

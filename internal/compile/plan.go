@@ -56,6 +56,11 @@ type RunOpts struct {
 	Pool *vector.Pool
 	// CollectStats enables instruction/memory/branch event counting.
 	CollectStats bool
+	// MorselSize overrides the scheduling granularity of parallel
+	// fragments in work items (0 = exec.DefaultMorsel). Results are
+	// bit-identical for every value; the knob trades scheduling overhead
+	// against skew absorption.
+	MorselSize int
 }
 
 // Result holds root values (in the interpreter's padded layout) and, when
@@ -81,11 +86,12 @@ func (r *Result) Release() {
 
 // runtime is the mutable state of one plan execution.
 type runtime struct {
-	plan  *Plan
-	ctx   context.Context
-	env   *exec.Env
-	stats *exec.Stats
-	arena *vector.Arena
+	plan   *Plan
+	ctx    context.Context
+	env    *exec.Env
+	stats  *exec.Stats
+	arena  *vector.Arena
+	morsel int
 }
 
 type step interface {
@@ -123,7 +129,8 @@ func (s *fragStep) run(rt *runtime) error {
 		})
 		fs = &rt.stats.Frags[len(rt.stats.Frags)-1]
 	}
-	return exec.RunFragmentContext(rt.ctx, s.f, rt.env, rt.plan.opt.Workers, fs)
+	return exec.RunFragmentPar(rt.ctx, s.f, rt.env,
+		exec.Par{Workers: rt.plan.opt.Workers, Morsel: rt.morsel}, fs)
 }
 
 func (s *fragStep) stepName() string { return "fragment " + s.f.Name }
@@ -267,7 +274,7 @@ func (p *Plan) run(ctx context.Context, tr *trace.Trace, ro RunOpts) (_ *Result,
 	if err != nil {
 		return nil, nil, err
 	}
-	rt := &runtime{plan: p, ctx: ctx, env: env, arena: arena}
+	rt := &runtime{plan: p, ctx: ctx, env: env, arena: arena, morsel: ro.MorselSize}
 	res := &Result{Values: map[core.Ref]*vector.Vector{}, arena: arena}
 	if ro.CollectStats || tr != nil {
 		rt.stats = &res.Stats
@@ -335,6 +342,8 @@ func (p *Plan) traceStep(s step, frags []exec.FragStats, wall time.Duration) tra
 				ts.WallNS = fs.Wall.Nanoseconds()
 			}
 			ts.Workers = fs.Workers
+			ts.Morsels = int64(fs.Morsels)
+			ts.Imbalance = fs.Imbalance
 			ts.Items = fs.Items
 			ts.MaterializedBytes = fs.StoreBytes
 			ts.IntOps, ts.FloatOps = fs.IntOps, fs.FloatOps

@@ -22,32 +22,40 @@ var diffPool = vector.NewPool(0)
 // backend-specific order, so it is only enabled by frontends that prove
 // position uniqueness. The pooled combo runs the default options with
 // recycled kernel buffers — results must stay bit-identical to the heap
-// combos, or buffer reuse is leaking state between queries.
+// combos, or buffer reuse is leaking state between queries. The
+// morsel-sweep combo runs with 4 workers across pathological morsel
+// sizes — results must stay bit-identical at every scheduling
+// granularity, or morsel claim order is leaking into results.
 var configs = []struct {
-	name   string
-	opt    compile.Options
-	pooled bool
+	name    string
+	opt     compile.Options
+	pooled  bool
+	morsels []int // when set, the plan runs once per morsel size
 }{
-	{"compiled", compile.Options{}, false},
-	{"predicated", compile.Options{Predication: true}, false},
-	{"bulk", compile.Options{ForceBulk: true}, false},
-	{"bulk-predicated", compile.Options{ForceBulk: true, Predication: true}, false},
-	{"pooled", compile.Options{}, true},
+	{name: "compiled", opt: compile.Options{}},
+	{name: "predicated", opt: compile.Options{Predication: true}},
+	{name: "bulk", opt: compile.Options{ForceBulk: true}},
+	{name: "bulk-predicated", opt: compile.Options{ForceBulk: true, Predication: true}},
+	{name: "pooled", opt: compile.Options{}, pooled: true},
+	{name: "morsel-sweep", opt: compile.Options{Workers: 4}, morsels: []int{1, 7, 1024, 0}},
 }
 
-// runPlan executes a compiled plan under the config's memory regime; the
-// returned release func recycles pooled buffers and must be called after
-// the result has been compared (never before).
-func runPlan(ctx context.Context, plan *compile.Plan, pooled bool) (*compile.Result, func(), error) {
+// runPlan executes a compiled plan under the config's memory regime and
+// morsel size; the returned release func recycles pooled buffers and must
+// be called after the result has been compared (never before).
+func runPlan(ctx context.Context, plan *compile.Plan, pooled bool, morsel int) (*compile.Result, func(), error) {
+	ro := compile.RunOpts{MorselSize: morsel}
 	if pooled {
-		res, err := plan.RunWith(ctx, compile.RunOpts{Pool: diffPool})
-		if err != nil {
-			return nil, func() {}, err
-		}
+		ro.Pool = diffPool
+	}
+	res, err := plan.RunWith(ctx, ro)
+	if err != nil {
+		return nil, func() {}, err
+	}
+	if pooled {
 		return res, res.Release, nil
 	}
-	res, err := plan.RunContext(ctx)
-	return res, func() {}, err
+	return res, func() {}, nil
 }
 
 const (
@@ -84,11 +92,15 @@ func TestInterpVsCompiled(t *testing.T) {
 				t.Fatalf("stopping after %d divergences", maxReported)
 			}
 			plan, cerr := compile.Compile(p.Prog, p.St, cfg.opt)
+			morsels := cfg.morsels
+			if len(morsels) == 0 {
+				morsels = []int{0}
+			}
 			if ierr != nil {
 				if cerr != nil {
 					continue
 				}
-				if _, release, rerr := runPlan(ctx, plan, cfg.pooled); rerr == nil {
+				if _, release, rerr := runPlan(ctx, plan, cfg.pooled, morsels[0]); rerr == nil {
 					release()
 					t.Errorf("seed %d %s: interpreter rejects the program (%v) but the compiled plan runs:\n%s",
 						seed, cfg.name, ierr, p.Prog)
@@ -101,28 +113,30 @@ func TestInterpVsCompiled(t *testing.T) {
 				reported++
 				continue
 			}
-			cres, release, rerr := runPlan(ctx, plan, cfg.pooled)
-			if rerr != nil {
-				t.Errorf("seed %d %s: run failed: %v\nprogram:\n%s", seed, cfg.name, rerr, p.Prog)
-				reported++
-				continue
-			}
-			for _, ref := range roots {
-				iv, cv := ires.Value(ref), cres.Values[ref]
-				if cv == nil {
-					t.Errorf("seed %d %s: root v%d missing from compiled result\nprogram:\n%s",
-						seed, cfg.name, ref, p.Prog)
+			for _, morsel := range morsels {
+				cres, release, rerr := runPlan(ctx, plan, cfg.pooled, morsel)
+				if rerr != nil {
+					t.Errorf("seed %d %s (morsel=%d): run failed: %v\nprogram:\n%s", seed, cfg.name, morsel, rerr, p.Prog)
 					reported++
-					break
+					continue
 				}
-				if !iv.Equal(cv) {
-					t.Errorf("seed %d %s: root v%d diverges\nprogram:\n%s\ninterp:\n%s\ncompiled:\n%s",
-						seed, cfg.name, ref, p.Prog, iv, cv)
-					reported++
-					break
+				for _, ref := range roots {
+					iv, cv := ires.Value(ref), cres.Values[ref]
+					if cv == nil {
+						t.Errorf("seed %d %s (morsel=%d): root v%d missing from compiled result\nprogram:\n%s",
+							seed, cfg.name, morsel, ref, p.Prog)
+						reported++
+						break
+					}
+					if !iv.Equal(cv) {
+						t.Errorf("seed %d %s (morsel=%d): root v%d diverges\nprogram:\n%s\ninterp:\n%s\ncompiled:\n%s",
+							seed, cfg.name, morsel, ref, p.Prog, iv, cv)
+						reported++
+						break
+					}
 				}
+				release()
 			}
-			release()
 		}
 	}
 	if interpErrs*20 > n {

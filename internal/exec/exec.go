@@ -303,10 +303,17 @@ type FragStats struct {
 	Sequential bool
 
 	// Wall is the fragment's measured wall-clock time; Workers is the
-	// number of worker goroutines that executed it. Both are set by
-	// RunFragmentContext (not merged from workers).
+	// number of goroutines that actually executed morsels of it (the
+	// submitter plus any pool workers that claimed work). Both are set by
+	// RunFragmentPar (not merged from workers).
 	Wall    time.Duration
 	Workers int
+	// Morsels is the number of scheduling morsels the fragment was split
+	// into (1 for sequential and single-morsel runs); Imbalance is the
+	// busiest participant's morsel count over an even share (1.0 =
+	// perfectly balanced, higher = skew absorbed unevenly).
+	Morsels   int
+	Imbalance float64
 
 	Items int64 // loop iterations executed
 	// StoreBytes counts bytes written to global buffers — the
@@ -366,6 +373,9 @@ func (fs *FragStats) merge(o *FragStats) {
 	}
 }
 
+// gomaxprocs is the default worker count for the zero Par.Workers.
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
+
 // Run executes every fragment of k against env using up to workers
 // goroutines (0 = GOMAXPROCS). When st is non-nil, event counts are
 // accumulated into it.
@@ -376,16 +386,24 @@ func Run(k *kernel.Kernel, env *Env, workers int, st *Stats) error {
 // RunContext is Run with cooperative cancellation: the context is checked
 // at every fragment boundary and every checkInterval work items inside
 // fragment loops, so a cancelled or deadline-expired query aborts
-// promptly instead of finishing all chunks. A non-zero env Deadline limit
-// is enforced as a context deadline.
+// promptly instead of finishing all morsels. A non-zero env Deadline
+// limit is enforced as a context deadline.
 func RunContext(ctx context.Context, k *kernel.Kernel, env *Env, workers int, st *Stats) error {
+	return RunParContext(ctx, k, env, Par{Workers: workers}, st)
+}
+
+// RunPar is Run with explicit parallelism knobs (worker cap and morsel
+// size).
+func RunPar(k *kernel.Kernel, env *Env, par Par, st *Stats) error {
+	return RunParContext(context.Background(), k, env, par, st)
+}
+
+// RunParContext is RunContext with explicit parallelism knobs.
+func RunParContext(ctx context.Context, k *kernel.Kernel, env *Env, par Par, st *Stats) error {
 	if d := env.lim.Deadline; !d.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, d)
 		defer cancel()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	for _, f := range k.Frags {
 		var fs *FragStats
@@ -398,7 +416,7 @@ func RunContext(ctx context.Context, k *kernel.Kernel, env *Env, workers int, st
 			})
 			fs = &st.Frags[len(st.Frags)-1]
 		}
-		if err := RunFragmentContext(ctx, f, env, workers, fs); err != nil {
+		if err := RunFragmentPar(ctx, f, env, par, fs); err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				NoteDeadline(env.lim, err)
 				return err
@@ -420,8 +438,16 @@ func RunFragment(f *kernel.Fragment, env *Env, workers int, fs *FragStats) error
 // and extent limiting. A panic in a worker goroutine is recovered into a
 // *PanicError instead of killing the process, and once one worker fails —
 // by error, panic or cancellation — the remaining workers stop at their
-// next checkpoint and no further chunk goroutines launch.
+// next checkpoint and no further morsels are claimed.
 func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, workers int, fs *FragStats) error {
+	return RunFragmentPar(ctx, f, env, Par{Workers: workers}, fs)
+}
+
+// RunFragmentPar is RunFragmentContext with explicit parallelism knobs.
+// Non-sequential fragments wider than one morsel run through the shared
+// morsel scheduler (see sched.go); the submitting goroutine always
+// participates, so progress never depends on pool availability.
+func RunFragmentPar(ctx context.Context, f *kernel.Fragment, env *Env, par Par, fs *FragStats) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -440,57 +466,40 @@ func RunFragmentContext(ctx context.Context, f *kernel.Fragment, env *Env, worke
 			return err
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	par = par.norm()
 	nregs := maxReg(f) + 1
-	if f.Sequential() || workers == 1 {
+	if f.Sequential() || par.Workers == 1 {
 		w := newWorker(ctx, f, env, nregs, fs != nil, nil)
 		if err := protect(f.Name, func() error { return w.run(0, max(f.Extent, 1)) }); err != nil {
 			w.release()
 			return err
 		}
 		if fs != nil {
-			fs.Workers = 1
+			fs.Workers, fs.Morsels, fs.Imbalance = 1, 1, 1
 			fs.merge(&w.stats)
 		}
 		w.release()
 		return nil
 	}
-	chunk := (f.Extent + workers - 1) / workers
-	if fs != nil {
-		fs.Workers = (f.Extent + chunk - 1) / chunk
-	}
-	var stop atomic.Bool
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for lo := 0; lo < f.Extent; lo += chunk {
-		if stop.Load() {
-			break
+	if f.Extent == 0 {
+		if fs != nil {
+			fs.Workers = 0
 		}
-		hi := min(lo+chunk, f.Extent)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			w := newWorker(ctx, f, env, nregs, fs != nil, &stop)
-			err := protect(f.Name, func() error { return w.run(lo, hi) })
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				stop.Store(true)
-				if firstErr == nil && err != errAborted {
-					firstErr = err
-				}
-			}
-			if fs != nil {
-				fs.merge(&w.stats)
-			}
-			w.release()
-		}(lo, hi)
+		return nil
 	}
-	wg.Wait()
-	return firstErr
+	if f.Extent <= par.Morsel {
+		// A single morsel: the pool could not help, so run it inline and
+		// skip the publish/withdraw round trip.
+		w := newWorker(ctx, f, env, nregs, fs != nil, nil)
+		err := protect(f.Name, func() error { return w.run(0, f.Extent) })
+		if err == nil && fs != nil {
+			fs.Workers, fs.Morsels, fs.Imbalance = 1, 1, 1
+			fs.merge(&w.stats)
+		}
+		w.release()
+		return err
+	}
+	return runMorselParallel(ctx, f, env, par, nregs, fs)
 }
 
 func maxReg(f *kernel.Fragment) kernel.Reg {

@@ -29,6 +29,11 @@ type Hooks struct {
 	// item id the worker is on. Panic to simulate a kernel bug mid-loop;
 	// sleep to simulate slowness.
 	Item func(frag string, gid int)
+	// MorselClaim runs each time a scheduler participant claims a morsel
+	// of a parallel fragment, before the morsel's work items execute.
+	// Panics raised here are recovered into *exec.PanicError exactly like
+	// in-loop panics.
+	MorselClaim func(frag string, morsel int)
 }
 
 var (
@@ -42,7 +47,7 @@ func Set(h Hooks) {
 	mu.Lock()
 	hooks = h
 	mu.Unlock()
-	enabled.Store(h.Alloc != nil || h.FragmentStart != nil || h.Item != nil)
+	enabled.Store(h.Alloc != nil || h.FragmentStart != nil || h.Item != nil || h.MorselClaim != nil)
 }
 
 // Clear removes all hooks.
@@ -89,5 +94,18 @@ func Item(frag string, gid int) {
 	mu.RUnlock()
 	if h != nil {
 		h(frag, gid)
+	}
+}
+
+// MorselClaim invokes the morsel-claim hook, if any.
+func MorselClaim(frag string, morsel int) {
+	if !enabled.Load() {
+		return
+	}
+	mu.RLock()
+	h := hooks.MorselClaim
+	mu.RUnlock()
+	if h != nil {
+		h(frag, morsel)
 	}
 }

@@ -47,6 +47,10 @@ type Engine struct {
 	Grain int
 	// CollectStats enables event counting for the device cost models.
 	CollectStats bool
+	// MorselSize overrides the scheduling granularity of parallel
+	// fragments in work items (0 = exec.DefaultMorsel); compiling
+	// backends only.
+	MorselSize int
 	// Limits is the per-query resource governor (memory budget, extent
 	// cap, deadline); the zero value imposes no limits. The memory and
 	// extent limits apply to the compiling backends; the deadline applies
@@ -199,7 +203,7 @@ func (e *Engine) RunPrepared(ctx context.Context, pr *Prepared) (res *Result, st
 		if e.PlanSink != nil {
 			e.PlanSink(pr.plan)
 		}
-		ro := compile.RunOpts{Limits: e.Limits, Pool: e.Pool, CollectStats: e.CollectStats}
+		ro := compile.RunOpts{Limits: e.Limits, Pool: e.Pool, CollectStats: e.CollectStats, MorselSize: e.MorselSize}
 		var pres *compile.Result
 		var rerr error
 		if e.TraceSink != nil {

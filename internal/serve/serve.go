@@ -60,6 +60,9 @@ type Config struct {
 	// MaxConcurrent bounds the queries executing at once; excess requests
 	// queue (and their wait is measured). 0 = GOMAXPROCS.
 	MaxConcurrent int
+	// MorselSize overrides the scheduling granularity of parallel
+	// fragments in work items (0 = exec.DefaultMorsel).
+	MorselSize int
 	// SlowQueries is the slow-query ring capacity (0 = 16).
 	SlowQueries int
 	// PlanCache is the compiled-plan cache capacity in entries
@@ -296,8 +299,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// working memory recycles across requests.
 	e := &rel.Engine{
 		Cat: cat, Backend: s.cfg.Backend, Opt: s.cfg.Opt,
-		Limits: s.cfg.Limits,
-		Pool:   s.pool,
+		Limits:     s.cfg.Limits,
+		Pool:       s.pool,
+		MorselSize: s.cfg.MorselSize,
 	}
 	e.Limits.Deadline = deadline
 

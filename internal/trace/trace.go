@@ -61,6 +61,11 @@ type Step struct {
 
 	WallNS  int64 `json:"wall_ns"`
 	Workers int   `json:"workers,omitempty"`
+	// Morsels is the number of scheduling morsels a parallel fragment was
+	// split into; Imbalance is the busiest participant's morsel count over
+	// an even share (1.0 = balanced).
+	Morsels   int64   `json:"morsels,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"`
 	// Items is the number of loop iterations (work items) executed.
 	Items int64 `json:"items"`
 	// MaterializedBytes counts the bytes this step wrote at a fragment
@@ -196,6 +201,9 @@ func (t *Trace) String() string {
 		fmt.Fprintf(&sb, " wall=%s", time.Duration(s.WallNS))
 		if s.Workers > 0 {
 			fmt.Fprintf(&sb, " workers=%d", s.Workers)
+		}
+		if s.Morsels > 1 {
+			fmt.Fprintf(&sb, " morsels=%d imb=%.2f", s.Morsels, s.Imbalance)
 		}
 		if s.Items > 0 {
 			fmt.Fprintf(&sb, " items=%d", s.Items)
