@@ -27,6 +27,7 @@ import (
 	"voodoo/internal/bench"
 	"voodoo/internal/diag"
 	"voodoo/internal/metrics"
+	"voodoo/internal/telemetry"
 )
 
 func main() {
@@ -38,10 +39,14 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "ci: committed baseline to compare against")
 	writeBaseline := flag.Bool("write-baseline", false, "ci: rewrite the baseline instead of comparing")
 	diagAddr := flag.String("diag-addr", "", "serve /metrics, pprof and expvar on this address while the benchmarks run (e.g. localhost:6060)")
+	logLevel := flag.String("log-level", "off", "structured-log threshold on stderr: debug, info, warn, error or off")
 	flag.Parse()
 
+	if err := telemetry.InstallJSON(os.Stderr, *logLevel); err != nil {
+		fatal(err)
+	}
 	if *diagAddr != "" {
-		ds, err := diag.Serve(*diagAddr, metrics.Default, nil, nil)
+		ds, err := diag.Serve(*diagAddr, metrics.Default, nil, nil, nil)
 		if err != nil {
 			fatal(err)
 		}

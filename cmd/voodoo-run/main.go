@@ -39,6 +39,7 @@ import (
 	"voodoo/internal/rel"
 	"voodoo/internal/sql"
 	"voodoo/internal/storage"
+	"voodoo/internal/telemetry"
 	"voodoo/internal/tpch"
 	"voodoo/internal/trace"
 )
@@ -59,10 +60,14 @@ func main() {
 	analyze := flag.Bool("explain-analyze", false, "run the query and print the plan with measured per-step times, items and bytes")
 	traceOut := flag.String("trace", "", "run the query and write its execution trace as JSON to this file")
 	diagAddr := flag.String("diag-addr", "", "serve /metrics, pprof and expvar on this address for the process lifetime (e.g. localhost:6060)")
+	logLevel := flag.String("log-level", "off", "structured-log threshold on stderr: debug, info, warn, error or off")
 	flag.Parse()
 
+	if err := telemetry.InstallJSON(os.Stderr, *logLevel); err != nil {
+		fatal(err)
+	}
 	if *diagAddr != "" {
-		ds, err := diag.Serve(*diagAddr, metrics.Default, nil, nil)
+		ds, err := diag.Serve(*diagAddr, metrics.Default, nil, nil, nil)
 		if err != nil {
 			fatal(err)
 		}

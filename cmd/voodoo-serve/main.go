@@ -11,6 +11,17 @@
 //	             [-timeout 30s] [-max-mem 1g] [-max-extent N] [-max-heap 4g]
 //	             [-concurrency N] [-morsel N] [-slow N] [-plan-cache N] [-no-pool]
 //	             [-drain-timeout 10s]
+//	             [-log-level info] [-events FILE] [-event-sample 0.01]
+//	             [-slow-threshold 1s] [-slo query=500ms:0.99] [-spans N]
+//
+// Telemetry: every query gets one id (the inbound W3C traceparent's
+// trace id when present, minted otherwise) that appears in the
+// response headers, the structured stderr log, the JSONL event log
+// (-events; sampled by -event-sample with errors/shed/slow always
+// kept), the /debug/spans trees, and the slow-query ring. -slo sets
+// per-route latency objectives whose error-budget burn shows up in
+// /healthz and the voodoo_slo_* metrics. Inspect an event log with
+// voodoo-trace.
 //
 // Lifecycle signals:
 //
@@ -57,6 +68,8 @@ import (
 	"voodoo/internal/rel"
 	"voodoo/internal/serve"
 	"voodoo/internal/storage"
+	"voodoo/internal/telemetry"
+	"voodoo/internal/telemetry/slo"
 	"voodoo/internal/tpch"
 )
 
@@ -77,7 +90,31 @@ func main() {
 	noPool := flag.Bool("no-pool", false, "disable the kernel-buffer pool (each query allocates fresh)")
 	maxHeap := flag.String("max-heap", "", "live-heap watermark above which new queries are shed with 503 (e.g. 4g; empty = disabled)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight queries before cancelling them")
+	logLevel := flag.String("log-level", "info", "structured-log threshold on stderr: debug, info, warn, error or off")
+	eventsPath := flag.String("events", "", "append sampled JSONL query events to this file (empty = disabled)")
+	eventSample := flag.Float64("event-sample", telemetry.DefaultSampleRate, "retention probability for ordinary query events (errors, shed and slow queries are always kept)")
+	slowThreshold := flag.Duration("slow-threshold", time.Second, "always retain events for queries at or above this wall time (0 = off)")
+	sloSpec := flag.String("slo", "query=500ms:0.99", "latency objectives, route=latency:target[,...] (empty disables SLO tracking)")
+	spanRetain := flag.Int("spans", 0, "retain span trees of the N most recent queries for /debug/spans (0 = 64, negative disables)")
 	flag.Parse()
+
+	if err := telemetry.InstallJSON(os.Stderr, *logLevel); err != nil {
+		fatal(err)
+	}
+	slos, err := slo.Parse(*sloSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var events *telemetry.EventLog
+	if *eventsPath != "" {
+		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		events = telemetry.NewEventLog(telemetry.EventLogConfig{
+			W: f, SampleRate: *eventSample, SlowThreshold: *slowThreshold,
+		})
+	}
 
 	var limits exec.Limits
 	if *maxMem != "" {
@@ -111,10 +148,13 @@ func main() {
 		PlanCache:     *planCache,
 		NoPool:        *noPool,
 		MemHighWater:  highWater,
+		Events:        events,
+		SpanRetain:    *spanRetain,
+		SLO:           slos,
 	})
 
 	if *diagAddr != "" {
-		ds, err := diag.Serve(*diagAddr, metrics.Default, s.QueryRegistry(), s.Health)
+		ds, err := diag.Serve(*diagAddr, metrics.Default, s.QueryRegistry(), s.SpanStore(), s.Health)
 		if err != nil {
 			fatal(err)
 		}
@@ -166,6 +206,11 @@ func main() {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		srv.Close()
+	}
+	// The emitters are quiet now: drain the event-log buffer to disk so
+	// the shutdown loses no accepted event.
+	if err := events.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "voodoo-serve: event log:", err)
 	}
 	// Last: stop the shared morsel pool so the process exits with no
 	// scheduler goroutines behind it.

@@ -13,7 +13,10 @@
 //   - no query is stuck in the registry after the drain;
 //   - no pooled arena leaked across the storm;
 //   - no morsel-pool worker goroutine or published job survives the
-//     post-drain scheduler quiesce.
+//     post-drain scheduler quiesce;
+//   - the JSONL event log loses nothing to the drain: every event it
+//     accepted during the storm is written by the time Close returns,
+//     with backpressure absorbed by the drop counter, never by blocking.
 //
 // Hooks are process-global, so callers running under `go test` should
 // hold the faultinject test lock (faultinject.With with empty Hooks)
@@ -35,8 +38,10 @@ import (
 	"voodoo/internal/compile"
 	"voodoo/internal/exec"
 	"voodoo/internal/faultinject"
+	"voodoo/internal/metrics"
 	"voodoo/internal/serve"
 	"voodoo/internal/storage"
+	"voodoo/internal/telemetry"
 )
 
 // Config shapes one storm.
@@ -81,6 +86,15 @@ type Report struct {
 	// published to the pool. Both must be zero after a clean drain.
 	LeakedWorkers int
 	StuckJobs     int
+
+	// Event-log accounting after the drain. Accepted events must all be
+	// written once Close returns (flush-on-quiesce); LostEvents is the
+	// difference and must be zero. EventsDropped counts buffer
+	// backpressure — a tolerated degradation, not a violation.
+	EventsAccepted int64
+	EventsWritten  int64
+	EventsDropped  int64
+	LostEvents     int64
 }
 
 // Err flattens invariant violations into one error, nil when the storm
@@ -101,6 +115,9 @@ func (r *Report) Err() error {
 	}
 	if r.StuckJobs > 0 {
 		probs = append(probs, fmt.Sprintf("%d jobs stuck in the scheduler", r.StuckJobs))
+	}
+	if r.LostEvents > 0 {
+		probs = append(probs, fmt.Sprintf("%d accepted events lost by the drain", r.LostEvents))
 	}
 	if len(probs) == 0 {
 		return nil
@@ -188,6 +205,14 @@ func Storm(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("chaos: Config.Cat is required")
 	}
 
+	// The storm gets its own metrics registry (repeated storms would
+	// otherwise pile func metrics onto metrics.Default) and a
+	// retain-everything event log, so the drain can assert the sink's
+	// no-loss contract under real concurrent load.
+	reg := metrics.NewRegistry()
+	events := telemetry.NewEventLog(telemetry.EventLogConfig{
+		W: io.Discard, SampleRate: 1, Registry: reg,
+	})
 	s := serve.New(serve.Config{
 		Cat: cfg.Cat,
 		// Four workers per fragment regardless of GOMAXPROCS, so the storm
@@ -196,6 +221,8 @@ func Storm(cfg Config) (*Report, error) {
 		Opt:           compile.Options{Workers: 4},
 		MaxConcurrent: 8,
 		Timeout:       10 * time.Second,
+		Registry:      reg,
+		Events:        events,
 	})
 	srv := httptest.NewServer(s.Mux())
 	defer srv.Close()
@@ -348,6 +375,15 @@ func Storm(cfg Config) (*Report, error) {
 	}
 	rep.StuckQueries = s.QueryRegistry().ActiveCount()
 	rep.LeakedArenas = s.PoolStats().LiveArenas
+	// The handlers have quiesced: close the event log and hold it to the
+	// no-loss contract — everything accepted is on the writer.
+	if err := events.Close(); err != nil {
+		return &rep, fmt.Errorf("chaos: event log close: %w", err)
+	}
+	rep.EventsAccepted = events.Accepted()
+	rep.EventsWritten = events.Written()
+	rep.EventsDropped = events.Dropped()
+	rep.LostEvents = rep.EventsAccepted - rep.EventsWritten
 	// The drained daemon must leave the shared morsel pool empty: quiesce
 	// it (as voodoo-serve does last in its SIGTERM path) and assert no
 	// worker goroutine or published job survives.

@@ -1,12 +1,17 @@
 package chaos
 
 import (
+	"bytes"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"voodoo/internal/faultinject"
+	"voodoo/internal/metrics"
+	"voodoo/internal/telemetry"
 	"voodoo/internal/tpch"
 )
 
@@ -69,5 +74,75 @@ func TestChaosStorm(t *testing.T) {
 	}
 	if rep.Failed == 0 && rep.ClientAbort == 0 {
 		t.Error("no request failed or aborted — the storm injected nothing")
+	}
+	// The event log ran at sample rate 1, so the storm must have pushed
+	// events through it (Err already asserted none were lost).
+	if rep.EventsAccepted == 0 {
+		t.Error("storm produced no query events — the telemetry sink was not exercised")
+	}
+	t.Logf("events: %d accepted, %d written, %d dropped",
+		rep.EventsAccepted, rep.EventsWritten, rep.EventsDropped)
+}
+
+// blockableWriter lets the backpressure test wedge the event-log writer
+// goroutine mid-write and release it later.
+type blockableWriter struct {
+	gate chan struct{}
+	n    atomic.Int64
+}
+
+func (w *blockableWriter) Write(p []byte) (int, error) {
+	<-w.gate
+	w.n.Add(int64(bytes.Count(p, []byte("\n"))))
+	return len(p), nil
+}
+
+// TestEventLogBackpressure wedges the sink's writer behind a blocked
+// io.Writer and hammers Emit: the serving path must never block — the
+// overflow lands in the drop counter — and once the writer is released,
+// Close still delivers every accepted event.
+func TestEventLogBackpressure(t *testing.T) {
+	w := &blockableWriter{gate: make(chan struct{})}
+	l := telemetry.NewEventLog(telemetry.EventLogConfig{
+		W: w, Buffer: 8, SampleRate: 1, Registry: metrics.NewRegistry(),
+	})
+
+	// 4 emitters × 64 events against a buffer of 8 and a wedged writer.
+	const emitters, perEmitter = 4, 64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				l.Emit(telemetry.Event{QueryID: "q", Status: 200, WallNS: 1})
+			}
+		}(e)
+	}
+	wg.Wait()
+	if blocked := time.Since(start); blocked > 5*time.Second {
+		t.Errorf("emitters took %v against a wedged writer — Emit blocked", blocked)
+	}
+
+	total := l.Accepted() + l.Dropped()
+	if total != emitters*perEmitter {
+		t.Errorf("accounting leak: accepted %d + dropped %d != emitted %d",
+			l.Accepted(), l.Dropped(), emitters*perEmitter)
+	}
+	if l.Dropped() == 0 {
+		t.Error("no drops despite a wedged writer and a full buffer")
+	}
+
+	// Release the writer: Close must deliver everything accepted.
+	close(w.gate)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Written() != l.Accepted() {
+		t.Errorf("drain lost events: accepted %d, written %d", l.Accepted(), l.Written())
+	}
+	if got := w.n.Load(); got != l.Written() {
+		t.Errorf("writer saw %d lines, sink counted %d", got, l.Written())
 	}
 }

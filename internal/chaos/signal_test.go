@@ -3,9 +3,11 @@ package chaos
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -13,6 +15,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"voodoo/internal/telemetry"
 )
 
 // TestSignalDrain is the signal-handling smoke test: it builds the real
@@ -31,9 +35,13 @@ func TestSignalDrain(t *testing.T) {
 	}
 
 	// -concurrency 1 guarantees a queue, so a burst of clients leaves
-	// requests both executing and queued when the signal lands.
+	// requests both executing and queued when the signal lands. The
+	// retain-everything event log lets the test assert the drain flushed
+	// one complete JSONL record per request.
+	eventsPath := filepath.Join(t.TempDir(), "events.jsonl")
 	cmd := exec.Command(bin,
-		"-addr", "127.0.0.1:0", "-sf", "0.01", "-concurrency", "1", "-drain-timeout", "10s")
+		"-addr", "127.0.0.1:0", "-sf", "0.01", "-concurrency", "1", "-drain-timeout", "10s",
+		"-events", eventsPath, "-event-sample", "1")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -133,5 +141,31 @@ func TestSignalDrain(t *testing.T) {
 	}
 	if !strings.Contains(out, "shutdown complete") {
 		t.Errorf("stderr missing shutdown banner:\n%s", out)
+	}
+
+	// The SIGTERM drain must leave a complete event log behind: one
+	// parseable JSONL record per request (warm-up + burst, successes and
+	// sheds alike at sample rate 1), no torn final line.
+	evData, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatalf("event log after drain: %v", err)
+	}
+	var events int
+	for _, line := range strings.Split(strings.TrimRight(string(evData), "\n"), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Errorf("torn or malformed event line %q: %v", line, err)
+			continue
+		}
+		if len(ev.QueryID) != 32 {
+			t.Errorf("event missing its query id: %s", line)
+		}
+		events++
+	}
+	if want := 1 + cap(results); events != want {
+		t.Errorf("event log has %d records after the drain, want %d\n%s", events, want, evData)
 	}
 }

@@ -3,12 +3,14 @@ package compile
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"time"
 
 	"voodoo/internal/core"
 	"voodoo/internal/exec"
 	"voodoo/internal/kernel"
+	"voodoo/internal/telemetry"
 	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
@@ -257,6 +259,20 @@ func (p *Plan) run(ctx context.Context, tr *trace.Trace, ro RunOpts) (_ *Result,
 		trace.ObserveQueryWall(time.Since(start))
 		exec.NoteDeadline(ro.Limits, err)
 	}()
+	// Deferred so the one debug record carries the outcome; the Enabled
+	// guard keeps the disabled path allocation-free on the hot loop.
+	if lg := telemetry.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+		defer func() {
+			attrs := []slog.Attr{
+				slog.Int("steps", len(p.steps)),
+				slog.Duration("wall", time.Since(start)),
+			}
+			if err != nil {
+				attrs = append(attrs, slog.String("error", err.Error()))
+			}
+			lg.LogAttrs(ctx, slog.LevelDebug, "compile: plan run", attrs...)
+		}()
+	}
 	if d := ro.Limits.Deadline; !d.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, d)

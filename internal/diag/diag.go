@@ -10,6 +10,8 @@ import (
 	"strconv"
 
 	"voodoo/internal/metrics"
+	"voodoo/internal/telemetry"
+	"voodoo/internal/telemetry/slo"
 )
 
 // Health is the /healthz payload of a process with a lifecycle: its
@@ -21,6 +23,11 @@ type Health struct {
 	State         string             `json:"state"`
 	ActiveQueries int                `json:"active_queries"`
 	Quarantined   []QuarantinedTable `json:"quarantined,omitempty"`
+	// Build identifies the binary answering the probe.
+	Build metrics.BuildInfo `json:"build"`
+	// SLO is the per-route error-budget state, present when the daemon
+	// tracks objectives — a probe reads budget burn without scraping.
+	SLO []slo.BudgetState `json:"slo,omitempty"`
 }
 
 // QuarantinedTable names one table withheld from serving and why.
@@ -38,16 +45,18 @@ type QuarantinedTable struct {
 //	/queries         JSON: in-flight queries (live progress) + slow-query summaries
 //	/queries/slow    JSON: the slow ring with full traces
 //	/queries/cancel  POST ?id=N — cancel an in-flight query
+//	/debug/spans     JSON: ?query_id= one query's span tree; bare, the retained ids
 //
 // qr may be nil (one-shot tools expose metrics/pprof without a query
 // registry); the /queries endpoints are mounted only when it is set.
+// spans may be nil; /debug/spans is mounted only when it is set.
 //
 // health may be nil: /healthz then answers a plain 200 "ok" (pure
 // liveness, the right shape for one-shot tools). When set, /healthz
 // reports the process's Health as JSON — 200 while ready or degraded
 // (still serving), 503 while draining so load balancers eject the
 // instance before shutdown completes.
-func NewMux(reg *metrics.Registry, qr *QueryRegistry, health func() Health) *http.ServeMux {
+func NewMux(reg *metrics.Registry, qr *QueryRegistry, spans *telemetry.SpanStore, health func() Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -74,7 +83,34 @@ func NewMux(reg *metrics.Registry, qr *QueryRegistry, health func() Health) *htt
 		mux.HandleFunc("GET /queries/slow", qr.handleSlow)
 		mux.HandleFunc("POST /queries/cancel", qr.handleCancel)
 	}
+	if spans != nil {
+		mux.HandleFunc("GET /debug/spans", func(w http.ResponseWriter, req *http.Request) {
+			handleSpans(w, req, spans)
+		})
+	}
 	return mux
+}
+
+// handleSpans serves one query's exportable span tree by query_id, or —
+// without the parameter — the ids still retained, most recent first.
+func handleSpans(w http.ResponseWriter, req *http.Request, spans *telemetry.SpanStore) {
+	id := req.URL.Query().Get("query_id")
+	if id == "" {
+		ids := spans.IDs()
+		if ids == nil {
+			ids = []string{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"retained": len(ids), "query_ids": ids})
+		return
+	}
+	qs, ok := spans.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("no retained spans for query_id %q (the store keeps the most recent trees only)", id),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, qs)
 }
 
 // cancelPath renders the cancel action URL for query id.
@@ -145,12 +181,12 @@ type Server struct {
 // returns once the listener is bound — the -diag-addr entry point for
 // one-shot tools, which want pprof and /metrics live while they run.
 // health may be nil (plain liveness /healthz).
-func Serve(addr string, reg *metrics.Registry, qr *QueryRegistry, health func() Health) (*Server, error) {
+func Serve(addr string, reg *metrics.Registry, qr *QueryRegistry, spans *telemetry.SpanStore, health func() Health) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: NewMux(reg, qr, health)}}
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: NewMux(reg, qr, spans, health)}}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
 	return s, nil
 }

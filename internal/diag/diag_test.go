@@ -32,7 +32,7 @@ func TestDiagEndpointsSmoke(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.Counter("smoke_total", "A counter for the smoke test.").Add(7)
 	qr := NewQueryRegistry(4)
-	srv := httptest.NewServer(NewMux(reg, qr, nil))
+	srv := httptest.NewServer(NewMux(reg, qr, nil, nil))
 	defer srv.Close()
 
 	t.Run("metrics", func(t *testing.T) {
@@ -103,7 +103,7 @@ func TestDiagEndpointsSmoke(t *testing.T) {
 	t.Run("queries-live", func(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		q := qr.Begin("SELECT COUNT(*) FROM lineitem", cancel)
+		q := qr.Begin("SELECT COUNT(*) FROM lineitem", "", cancel)
 		q.Observe(trace.Step{Kind: trace.KindFragment, Name: "scan_0", Items: 42, MaterializedBytes: 336})
 
 		code, body := get(t, srv.URL+"/queries")
@@ -175,7 +175,7 @@ func TestDiagEndpointsSmoke(t *testing.T) {
 // TestServeBindsEphemeral: the background Serve helper binds :0, reports
 // the real address and serves /metrics until closed.
 func TestServeBindsEphemeral(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", metrics.NewRegistry(), nil, nil)
+	s, err := Serve("127.0.0.1:0", metrics.NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

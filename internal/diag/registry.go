@@ -43,10 +43,11 @@ func NewQueryRegistry(slowN int) *QueryRegistry {
 // method is a trace.Observer: attach it to the query's context with
 // trace.WithObserver and the traced backends stream live progress here.
 type ActiveQuery struct {
-	id     int64
-	sql    string
-	start  time.Time
-	cancel context.CancelFunc
+	id      int64
+	queryID string // telemetry correlation id (trace-id hex), "" pre-telemetry
+	sql     string
+	start   time.Time
+	cancel  context.CancelFunc
 
 	steps    atomic.Int64
 	items    atomic.Int64
@@ -56,6 +57,9 @@ type ActiveQuery struct {
 	planLookupNS atomic.Int64
 	compileNS    atomic.Int64
 	cachedPlan   atomic.Bool
+
+	queueNS    atomic.Int64
+	deadlineNS atomic.Int64
 }
 
 // SetPlanTiming records how the query obtained its plan: the plan-cache
@@ -66,6 +70,15 @@ func (q *ActiveQuery) SetPlanTiming(lookupNS, compileNS int64, cached bool) {
 	q.planLookupNS.Store(lookupNS)
 	q.compileNS.Store(compileNS)
 	q.cachedPlan.Store(cached)
+}
+
+// SetAdmission records what the query endured before execution began:
+// the admission-queue wait and the remaining deadline budget at arrival
+// (0 = no deadline) — the two numbers that distinguish "the query was
+// slow" from "the query waited".
+func (q *ActiveQuery) SetAdmission(queueWaitNS, deadlineNS int64) {
+	q.queueNS.Store(queueWaitNS)
+	q.deadlineNS.Store(deadlineNS)
 }
 
 // ID returns the registry-assigned query id (the cancel handle).
@@ -81,14 +94,16 @@ func (q *ActiveQuery) Observe(s trace.Step) {
 	q.lastStep.Store(&name)
 }
 
-// Begin registers an in-flight query. cancel, when non-nil, is invoked
-// by the registry's Cancel action (and never by the registry itself
-// otherwise); the caller still owns the context.
-func (r *QueryRegistry) Begin(sql string, cancel context.CancelFunc) *ActiveQuery {
+// Begin registers an in-flight query. queryID is the telemetry
+// correlation id carried by the query's logs, spans and events ("" when
+// the caller has none). cancel, when non-nil, is invoked by the
+// registry's Cancel action (and never by the registry itself otherwise);
+// the caller still owns the context.
+func (r *QueryRegistry) Begin(sql, queryID string, cancel context.CancelFunc) *ActiveQuery {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
-	q := &ActiveQuery{id: r.nextID, sql: sql, start: time.Now(), cancel: cancel}
+	q := &ActiveQuery{id: r.nextID, queryID: queryID, sql: sql, start: time.Now(), cancel: cancel}
 	r.active[q.id] = q
 	return q
 }
@@ -101,10 +116,11 @@ func (r *QueryRegistry) Finish(q *ActiveQuery, traces []*trace.Trace, err error)
 	delete(r.active, q.id)
 	r.mu.Unlock()
 	e := SlowQuery{
-		ID: q.id, SQL: q.sql, StartedAt: q.start, WallNS: wall.Nanoseconds(),
+		ID: q.id, QueryID: q.queryID, SQL: q.sql, StartedAt: q.start, WallNS: wall.Nanoseconds(),
 		Items: q.items.Load(), MaterializedBytes: q.matBytes.Load(), Traces: traces,
 		PlanLookupNS: q.planLookupNS.Load(), CompileNS: q.compileNS.Load(),
 		CachedPlan: q.cachedPlan.Load(),
+		QueueNS:    q.queueNS.Load(), DeadlineNS: q.deadlineNS.Load(),
 	}
 	if err != nil {
 		e.Error = err.Error()
@@ -138,10 +154,17 @@ func (r *QueryRegistry) ActiveCount() int {
 
 // QueryInfo is the JSON snapshot of one in-flight query.
 type QueryInfo struct {
-	ID        int64     `json:"id"`
+	ID int64 `json:"id"`
+	// QueryID is the telemetry correlation id — grep the event log or hit
+	// /debug/spans?query_id= with it.
+	QueryID   string    `json:"query_id,omitempty"`
 	SQL       string    `json:"sql"`
 	StartedAt time.Time `json:"started_at"`
 	ElapsedNS int64     `json:"elapsed_ns"`
+	// QueueNS is the admission-queue wait; DeadlineNS the remaining
+	// deadline budget at arrival (0 = none).
+	QueueNS    int64 `json:"queue_ns,omitempty"`
+	DeadlineNS int64 `json:"deadline_ns,omitempty"`
 	// StepsDone counts completed plan steps; LastStep names the most
 	// recently completed one ("fragment sel_fused", "bulk FoldSum", …) —
 	// together they are the query's live progress.
@@ -170,8 +193,9 @@ func (r *QueryRegistry) Active() []QueryInfo {
 	out := make([]QueryInfo, len(qs))
 	for i, q := range qs {
 		out[i] = QueryInfo{
-			ID: q.id, SQL: q.sql, StartedAt: q.start,
+			ID: q.id, QueryID: q.queryID, SQL: q.sql, StartedAt: q.start,
 			ElapsedNS: time.Since(q.start).Nanoseconds(),
+			QueueNS:   q.queueNS.Load(), DeadlineNS: q.deadlineNS.Load(),
 			StepsDone: q.steps.Load(), Items: q.items.Load(),
 			MaterializedBytes: q.matBytes.Load(),
 			PlanLookupNS:      q.planLookupNS.Load(),
@@ -192,9 +216,12 @@ func (r *QueryRegistry) Slow() []SlowQuery { return r.slow.Snapshot() }
 // SlowQuery is one finished query retained by the slow-query ring.
 type SlowQuery struct {
 	ID                int64          `json:"id"`
+	QueryID           string         `json:"query_id,omitempty"`
 	SQL               string         `json:"sql"`
 	StartedAt         time.Time      `json:"started_at"`
 	WallNS            int64          `json:"wall_ns"`
+	QueueNS           int64          `json:"queue_ns,omitempty"`
+	DeadlineNS        int64          `json:"deadline_ns,omitempty"`
 	Items             int64          `json:"items"`
 	MaterializedBytes int64          `json:"materialized_bytes"`
 	PlanLookupNS      int64          `json:"plan_lookup_ns"`

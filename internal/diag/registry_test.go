@@ -37,7 +37,7 @@ func TestSlowRingRetainsWorst(t *testing.T) {
 // active view into the slow ring with its accumulated progress.
 func TestRegistryLifecycle(t *testing.T) {
 	r := NewQueryRegistry(4)
-	q := r.Begin("SELECT 1", nil)
+	q := r.Begin("SELECT 1", "", nil)
 	if n := r.ActiveCount(); n != 1 {
 		t.Fatalf("ActiveCount = %d, want 1", n)
 	}
@@ -73,7 +73,7 @@ func TestRegistryLifecycle(t *testing.T) {
 func TestRegistryCancel(t *testing.T) {
 	r := NewQueryRegistry(4)
 	ctx, cancel := context.WithCancel(context.Background())
-	q := r.Begin("SELECT slow", cancel)
+	q := r.Begin("SELECT slow", "", cancel)
 	if r.Cancel(q.ID() + 99) {
 		t.Errorf("cancelling an unknown id reported success")
 	}
@@ -143,7 +143,7 @@ func TestRegistryConcurrent(t *testing.T) {
 			defer writers.Done()
 			for i := 0; i < each; i++ {
 				_, cancel := context.WithCancel(context.Background())
-				q := r.Begin(fmt.Sprintf("SELECT %d", w), cancel)
+				q := r.Begin(fmt.Sprintf("SELECT %d", w), "", cancel)
 				q.Observe(trace.Step{Kind: trace.KindFragment, Name: "f", Items: 1, MaterializedBytes: 8})
 				q.Observe(trace.Step{Kind: trace.KindOutput, Name: "v0", Items: 1})
 				r.Finish(q, []*trace.Trace{{Backend: "compiled"}}, nil)
@@ -199,7 +199,7 @@ func TestSlowRingConcurrent(t *testing.T) {
 // TestActiveElapsed: elapsed time in snapshots moves forward.
 func TestActiveElapsed(t *testing.T) {
 	r := NewQueryRegistry(2)
-	q := r.Begin("SELECT now", nil)
+	q := r.Begin("SELECT now", "", nil)
 	time.Sleep(10 * time.Millisecond)
 	if e := r.Active()[0].ElapsedNS; e < int64(5*time.Millisecond) {
 		t.Errorf("elapsed %dns implausibly small", e)

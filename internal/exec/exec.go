@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"voodoo/internal/faultinject"
 	"voodoo/internal/kernel"
 	"voodoo/internal/metrics"
+	"voodoo/internal/telemetry"
 	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
@@ -421,6 +423,14 @@ func RunParContext(ctx context.Context, k *kernel.Kernel, env *Env, par Par, st 
 				NoteDeadline(env.lim, err)
 				return err
 			}
+			// The guard keeps the disabled path allocation-free; fragment
+			// failures are rare enough to log unconditionally when enabled.
+			if lg := telemetry.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelWarn) {
+				lg.LogAttrs(ctx, slog.LevelWarn, "exec: fragment failed",
+					slog.String("fragment", f.Name),
+					slog.Int("extent", f.Extent),
+					slog.String("error", err.Error()))
+			}
 			return fmt.Errorf("exec: fragment %s: %w", f.Name, err)
 		}
 	}
@@ -458,6 +468,12 @@ func RunFragmentPar(ctx context.Context, f *kernel.Fragment, env *Env, par Par, 
 	}
 	if env.lim.MaxExtent > 0 && f.Extent > env.lim.MaxExtent {
 		exhaustedExtent.Inc()
+		if lg := telemetry.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelWarn) {
+			lg.LogAttrs(ctx, slog.LevelWarn, "exec: extent limit exceeded",
+				slog.String("fragment", f.Name),
+				slog.Int("extent", f.Extent),
+				slog.Int("max_extent", env.lim.MaxExtent))
+		}
 		return fmt.Errorf("exec: fragment %s extent %d exceeds MaxExtent %d: %w",
 			f.Name, f.Extent, env.lim.MaxExtent, ErrResourceExhausted)
 	}

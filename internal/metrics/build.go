@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Build identity: every scrape and health probe should say which binary
+// answered it. voodoo_build_info follows the Prometheus convention of a
+// constant-1 gauge whose labels carry the identity, so dashboards can
+// join any series against the running version; the start-time gauge
+// gives uptime without the scraper having to remember when the process
+// appeared.
+
+// BuildInfo is the process's build identity, as read from the binary's
+// embedded module info.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for tree builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit sha, "" when built outside a checkout.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes in the build's working tree.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+
+	// processStart anchors voodoo_process_start_time_seconds. Package
+	// initialization happens once at startup, close enough to exec time
+	// for uptime math.
+	processStart = time.Now()
+)
+
+// Build returns the process's build identity. The first call reads the
+// binary's embedded build info; later calls return the cached value.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo registers the build-identity gauge and the process
+// start-time gauge on r. Idempotent, like all registration.
+func (r *Registry) RegisterBuildInfo() {
+	b := Build()
+	rev := b.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	r.GaugeVec("voodoo_build_info",
+		"Build identity of the running binary; the value is always 1.",
+		"version", "go_version", "revision").
+		With(b.Version, b.GoVersion, rev).Set(1)
+	r.GaugeFunc("voodoo_process_start_time_seconds",
+		"Unix time the process started, in seconds.",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+}
+
+func init() { Default.RegisterBuildInfo() }

@@ -212,6 +212,26 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.child("", true, func() metric { return funcMetric(fn) })
 }
 
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec registers (or returns) the labeled gauge family named name.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", l))
+		}
+	}
+	return &GaugeVec{fam: r.lookup(name, help, typeGauge, labelNames)}
+}
+
+// With returns the child gauge for the given label values (one per label
+// name, in registration order).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := renderLabels(v.fam.labels, values)
+	return v.fam.child(key, false, func() metric { return &Gauge{} }).(*Gauge)
+}
+
 // funcMetric is a scrape-time-evaluated collector.
 type funcMetric func() float64
 
@@ -350,6 +370,12 @@ func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
 
 // NewGaugeFunc registers a scrape-time gauge on the Default registry.
 func NewGaugeFunc(name, help string, fn func() float64) { Default.GaugeFunc(name, help, fn) }
+
+// NewGaugeVec registers (or returns) a labeled gauge family on the
+// Default registry.
+func NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return Default.GaugeVec(name, help, labelNames...)
+}
 
 // NewHistogram registers (or returns) a histogram on the Default registry.
 func NewHistogram(name, help string, bounds []float64) *Histogram {

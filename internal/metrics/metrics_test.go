@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -150,6 +151,131 @@ func TestLabelEscaping(t *testing.T) {
 	want := `e_total{q="a\"b\\c\nd"} 1`
 	if !strings.Contains(sb.String(), want) {
 		t.Errorf("escaping wrong:\n%s\nwant line: %s", sb.String(), want)
+	}
+
+	// Each special character alone, including escape-order traps
+	// (backslash must escape first or it re-escapes the others' output).
+	for _, tc := range []struct{ in, want string }{
+		{`\`, `\\`},
+		{`"`, `\"`},
+		{"\n", `\n`},
+		{`\n`, `\\n`},  // literal backslash-n, not a newline
+		{`\"`, `\\\"`}, // backslash then quote
+		{"a\nb\"c\\", `a\nb\"c\\`},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+
+	// Escaped values must render as exactly one exposition line.
+	r2 := NewRegistry()
+	r2.CounterVec("one_total", "x", "v").With("line1\nline2").Inc()
+	var sb2 strings.Builder
+	r2.WritePrometheus(&sb2)
+	if lines := strings.Count(sb2.String(), "\n"); lines != 3 { // HELP, TYPE, sample
+		t.Errorf("newline in label value split the exposition:\n%s", sb2.String())
+	}
+}
+
+// TestHelpEscaping: backslashes and newlines in help text escape, quotes
+// pass through (the exposition format only escapes those two in HELP).
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("he_total", "multi\nline \\ and \"quoted\"")
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP he_total multi\nline \\ and "quoted"`
+	if !strings.Contains(sb.String(), want+"\n") {
+		t.Errorf("help escaping wrong:\n%s\nwant line: %s", sb.String(), want)
+	}
+}
+
+// TestHistogramMonotonic: rendered bucket counts are cumulative and
+// non-decreasing in le order, with +Inf equal to the total count — the
+// invariant Prometheus quantile math relies on.
+func TestHistogramMonotonic(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("m_seconds", "x", []float64{0.001, 0.01, 0.1, 1, 10})
+	// A spread that lands in every bucket plus +Inf, with repeats.
+	for _, v := range []float64{0, 0.0005, 0.002, 0.02, 0.02, 0.5, 0.5, 0.5, 2, 100, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+
+	var prev, inf int64 = -1, -1
+	buckets := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "m_seconds_bucket{") {
+			continue
+		}
+		buckets++
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not monotone: %q after %d", line, prev)
+		}
+		prev = n
+		if strings.Contains(line, `le="+Inf"`) {
+			inf = n
+		}
+	}
+	if buckets != 6 {
+		t.Fatalf("got %d bucket lines, want 6:\n%s", buckets, sb.String())
+	}
+	if inf != h.Count() {
+		t.Errorf("+Inf bucket %d != count %d", inf, h.Count())
+	}
+}
+
+// TestGaugeVec: labeled gauges share children across With calls and
+// render per-label samples.
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("gv", "x", "route")
+	v.With("query").Set(1.5)
+	v.With("query").Add(0.5)
+	v.With("admin").Set(3)
+	if got := v.With("query").Value(); got != 2 {
+		t.Errorf("gauge vec child = %v, want 2", got)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	for _, want := range []string{`gv{route="admin"} 3`, `gv{route="query"} 2`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestBuildInfo: the build-identity gauge renders a constant 1 with the
+// identity in labels, and the start-time gauge reads as a plausible
+// recent unix time.
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" || b.Version == "" {
+		t.Fatalf("empty build identity: %+v", b)
+	}
+	r := NewRegistry()
+	r.RegisterBuildInfo()
+	r.RegisterBuildInfo() // idempotent
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `voodoo_build_info{version="`) ||
+		!strings.Contains(out, `go_version="`+b.GoVersion+`"`) ||
+		!strings.Contains(out, "} 1\n") {
+		t.Errorf("build info gauge malformed:\n%s", out)
+	}
+	start := float64(processStart.UnixNano()) / 1e9
+	if start < 1e9 || start > 1e10 {
+		t.Errorf("implausible process start %v", start)
+	}
+	if !strings.Contains(out, "# TYPE voodoo_process_start_time_seconds gauge") {
+		t.Errorf("start-time gauge missing:\n%s", out)
 	}
 }
 

@@ -3,6 +3,7 @@ package rel
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"voodoo/internal/compile"
@@ -10,6 +11,7 @@ import (
 	"voodoo/internal/exec"
 	"voodoo/internal/interp"
 	"voodoo/internal/storage"
+	"voodoo/internal/telemetry"
 	"voodoo/internal/trace"
 	"voodoo/internal/vector"
 )
@@ -169,6 +171,13 @@ func (e *Engine) RunPrepared(ctx context.Context, pr *Prepared) (res *Result, st
 		ctx, cancel = context.WithDeadline(ctx, d)
 		defer cancel()
 	}
+	// The Enabled guard keeps the disabled-logging path allocation-free —
+	// RunPrepared sits on the daemon's steady-state hot path.
+	if lg := telemetry.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+		lg.LogAttrs(ctx, slog.LevelDebug, "rel: run prepared",
+			slog.String("query", pr.q.Name),
+			slog.Bool("compiled", pr.plan != nil))
+	}
 
 	// release recycles the run's pooled intermediates. It runs after
 	// assemble, which copies every output value into plain Row maps, so
@@ -193,6 +202,10 @@ func (e *Engine) RunPrepared(ctx context.Context, pr *Prepared) (res *Result, st
 			// the plan runner; the interpreter has no governor of its own,
 			// so the engine accounts for it here.
 			exec.NoteDeadline(e.Limits, ierr)
+			if lg := telemetry.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelWarn) {
+				lg.LogAttrs(ctx, slog.LevelWarn, "rel: interpreted run failed",
+					slog.String("query", pr.q.Name), slog.String("error", ierr.Error()))
+			}
 			return nil, nil, ierr
 		}
 		release = ires.Release
@@ -217,6 +230,10 @@ func (e *Engine) RunPrepared(ctx context.Context, pr *Prepared) (res *Result, st
 			pres, rerr = pr.plan.RunWith(ctx, ro)
 		}
 		if rerr != nil {
+			if lg := telemetry.LoggerFrom(ctx); lg.Enabled(ctx, slog.LevelWarn) {
+				lg.LogAttrs(ctx, slog.LevelWarn, "rel: compiled run failed",
+					slog.String("query", pr.q.Name), slog.String("error", rerr.Error()))
+			}
 			return nil, nil, rerr
 		}
 		release = pres.Release

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"voodoo/internal/diag"
+	"voodoo/internal/metrics"
 	"voodoo/internal/storage"
 	"voodoo/internal/vector"
 )
@@ -82,10 +83,15 @@ func (s *Server) awaitIdle(ctx context.Context) error {
 	}
 }
 
-// Health snapshots the server's lifecycle state for /healthz.
+// Health snapshots the server's lifecycle state for /healthz, including
+// the binary's build identity and — when objectives are configured — the
+// per-route error-budget state.
 func (s *Server) Health() diag.Health {
 	cat := s.cat.Load()
-	h := diag.Health{State: "ready", ActiveQueries: s.qreg.ActiveCount()}
+	h := diag.Health{
+		State: "ready", ActiveQueries: s.qreg.ActiveCount(),
+		Build: metrics.Build(), SLO: s.slos.Snapshot(),
+	}
 	for _, name := range cat.Quarantined() {
 		h.State = "degraded"
 		h.Quarantined = append(h.Quarantined, diag.QuarantinedTable{

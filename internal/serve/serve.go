@@ -39,6 +39,8 @@ import (
 	"voodoo/internal/rel"
 	"voodoo/internal/sql"
 	"voodoo/internal/storage"
+	"voodoo/internal/telemetry"
+	"voodoo/internal/telemetry/slo"
 	"voodoo/internal/tpch"
 	"voodoo/internal/trace"
 	"voodoo/internal/vector"
@@ -76,6 +78,16 @@ type Config struct {
 	MemHighWater int64
 	// Registry receives the server's metrics (nil = metrics.Default).
 	Registry *metrics.Registry
+	// Events is the JSONL query-event log (nil = no event log). The
+	// server emits; the owner closes.
+	Events *telemetry.EventLog
+	// SpanRetain is the span-store capacity in span trees (0 = 64;
+	// negative disables /debug/spans).
+	SpanRetain int
+	// SLO is the latency objectives the server tracks per route
+	// (empty = no SLO tracking). /query traffic observes under route
+	// "query".
+	SLO []slo.Objective
 }
 
 // Server executes SQL over HTTP against one catalog.
@@ -103,6 +115,13 @@ type Server struct {
 	// nanoseconds, feeding the deadline-aware admission gate (shed.go).
 	queueEWMA atomic.Int64
 	memShed   *memShedder
+
+	// events, spans and slos are the telemetry sinks: the JSONL event
+	// log (owned by the caller), the span-tree ring behind /debug/spans,
+	// and the per-route error budgets surfaced on /healthz. All nil-safe.
+	events *telemetry.EventLog
+	spans  *telemetry.SpanStore
+	slos   *slo.Tracker
 
 	mQueue   *metrics.Histogram
 	mCompile *metrics.Histogram
@@ -152,6 +171,13 @@ func New(cfg Config) *Server {
 	if !cfg.NoPool {
 		s.pool = vector.NewPool(0)
 	}
+	s.events = cfg.Events
+	if cfg.SpanRetain >= 0 {
+		s.spans = telemetry.NewSpanStore(cfg.SpanRetain)
+	}
+	if len(cfg.SLO) > 0 {
+		s.slos = slo.New(cfg.Registry, 0, cfg.SLO...)
+	}
 	cfg.Registry.GaugeFunc("voodoo_active_queries",
 		"Queries currently executing or unwinding.",
 		func() float64 { return float64(s.qreg.ActiveCount()) })
@@ -162,10 +188,14 @@ func New(cfg Config) *Server {
 // tests share it).
 func (s *Server) QueryRegistry() *diag.QueryRegistry { return s.qreg }
 
+// SpanStore exposes the retained span trees (nil when disabled) — the
+// daemon hands it to a standalone diagnostics listener.
+func (s *Server) SpanStore() *telemetry.SpanStore { return s.spans }
+
 // Mux returns the server's full HTTP surface: the query endpoints
 // mounted over the diagnostics mux.
 func (s *Server) Mux() *http.ServeMux {
-	mux := diag.NewMux(s.reg, s.qreg, s.Health)
+	mux := diag.NewMux(s.reg, s.qreg, s.spans, s.Health)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/{$}", s.handleIndex)
 	return mux
@@ -201,12 +231,15 @@ type queryResponse struct {
 // plan-cache lookup; CompileNS is parse+plan+compile and is ~0 when
 // Cached (the plan came from the cache).
 type queryStats struct {
-	QueueNS      int64 `json:"queue_ns"`
-	PlanLookupNS int64 `json:"plan_lookup_ns"`
-	CompileNS    int64 `json:"compile_ns"`
-	ExecNS       int64 `json:"exec_ns"`
-	Rows         int   `json:"rows"`
-	Cached       bool  `json:"cached"`
+	// QueryID is the telemetry correlation id, also echoed in the
+	// Traceparent / X-Voodoo-Query-Id response headers.
+	QueryID      string `json:"query_id"`
+	QueueNS      int64  `json:"queue_ns"`
+	PlanLookupNS int64  `json:"plan_lookup_ns"`
+	CompileNS    int64  `json:"compile_ns"`
+	ExecNS       int64  `json:"exec_ns"`
+	Rows         int    `json:"rows"`
+	Cached       bool   `json:"cached"`
 }
 
 type queryError struct {
@@ -215,8 +248,22 @@ type queryError struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Identity first: every request — including the ones the admission
+	// gates refuse — gets a query id, echoed on the response and carried
+	// by every record the request leaves behind.
+	qt := s.beginTelemetry(w, r)
+	fail := func(code int, kind string, err error) {
+		qt.finish(code, kind, err, nil)
+		s.fail(w, code, kind, err)
+	}
+	shed := func(reason string, err error) {
+		s.mShed.With(reason).Inc()
+		w.Header().Set("Retry-After", "1")
+		fail(http.StatusServiceUnavailable, "shed-"+reason, err)
+	}
+
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "method", fmt.Errorf("use GET or POST"))
+		fail(http.StatusMethodNotAllowed, "method", fmt.Errorf("use GET or POST"))
 		return
 	}
 	s.inflight.Add(1)
@@ -224,18 +271,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Admission gate 1: a draining server refuses new work outright.
 	if s.draining.Load() {
-		s.shed(w, "draining", fmt.Errorf("server is draining for shutdown"))
+		shed("draining", fmt.Errorf("server is draining for shutdown"))
 		return
 	}
 	// Admission gate 2: above the live-heap watermark every new query is
 	// shed — the process is closer to the OOM killer than to spare
 	// capacity, and refusals are the only load it can still take.
 	if s.memShed.over() {
-		s.shed(w, "memory", fmt.Errorf("server heap above the load-shedding watermark"))
+		shed("memory", fmt.Errorf("server heap above the load-shedding watermark"))
 		return
 	}
 
-	arrived := time.Now()
+	arrived := qt.arrived
 	// Every request derives from baseCtx so a forced drain can cancel all
 	// in-flight queries at once, and from the client connection so a
 	// disconnect cancels just this one.
@@ -250,12 +297,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithDeadline(ctx, deadline)
 		defer cancel()
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		qt.deadline = dl.Sub(arrived)
+	}
+	ctx = qt.context(ctx)
 
 	src, qnum, err := s.requestQuery(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "parse", err)
+		fail(http.StatusBadRequest, "parse", err)
 		return
 	}
+	qt.sql = src
 
 	// Admission gate 3: a request whose remaining deadline budget is
 	// already smaller than the measured queue wait is doomed — unless a
@@ -267,7 +319,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			case s.sem <- struct{}{}:
 				admitted = true
 			default:
-				s.shed(w, "deadline", fmt.Errorf(
+				shed("deadline", fmt.Errorf(
 					"deadline budget %v is below the expected queue wait %v",
 					time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond)))
 				return
@@ -280,7 +332,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
-			s.fail(w, http.StatusServiceUnavailable, "queue",
+			fail(http.StatusServiceUnavailable, "queue",
 				fmt.Errorf("timed out waiting for an execution slot: %w", ctx.Err()))
 			return
 		}
@@ -289,6 +341,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	queueWait := time.Since(arrived)
 	s.mQueue.Observe(queueWait.Seconds())
 	s.noteQueueWait(queueWait)
+	qt.queueWait = queueWait
 
 	// The catalog pointer is pinned here for the whole request: a
 	// concurrent SwapCatalog must never mix two catalogs in one query.
@@ -312,12 +365,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var pr *rel.Prepared
 	var cached bool
 	var lookupDur, compileDur time.Duration
+	failPlan := func(err error) {
+		var ce *storage.CorruptError
+		if errors.As(err, &ce) {
+			fail(http.StatusServiceUnavailable, "quarantined", err)
+			return
+		}
+		fail(http.StatusBadRequest, "plan", err)
+	}
 	if qnum > 0 {
 		if qf, err = tpch.Query(qnum); err != nil {
-			s.fail(w, http.StatusBadRequest, "parse", err)
+			fail(http.StatusBadRequest, "parse", err)
 			return
 		}
 		src = fmt.Sprintf("TPC-H Q%d", qnum)
+		qt.sql = src
 	} else {
 		norm := normalizeSQL(src)
 		lookupStart := time.Now()
@@ -327,17 +389,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			compileStart := time.Now()
 			stmt, perr := sql.Parse(src)
 			if perr != nil {
-				s.fail(w, http.StatusBadRequest, "parse", perr)
+				fail(http.StatusBadRequest, "parse", perr)
 				return
 			}
 			var q rel.Query
 			if q, err = sql.Plan(stmt, cat); err != nil {
-				s.failPlan(w, err)
+				failPlan(err)
 				return
 			}
 			q.Name = src
 			if pr, err = e.Prepare(q); err != nil {
-				s.failPlan(w, err)
+				failPlan(err)
 				return
 			}
 			compileDur = time.Since(compileStart)
@@ -345,14 +407,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mCompile.Observe(compileDur.Seconds())
+	qt.planLookup, qt.compile, qt.cached = lookupDur, compileDur, cached
 
 	// Execute under a cancellable context registered for the /queries
 	// cancel action, with completed trace steps streaming into the
 	// registry entry as live progress.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	aq := s.qreg.Begin(src, cancel)
+	aq := s.qreg.Begin(src, qt.qid.String(), cancel)
 	aq.SetPlanTiming(lookupDur.Nanoseconds(), compileDur.Nanoseconds(), cached)
+	aq.SetAdmission(queueWait.Nanoseconds(), qt.deadline.Nanoseconds())
 	ctx = trace.WithObserver(ctx, aq.Observe)
 
 	var traces []*trace.Trace
@@ -369,9 +433,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	execDur := time.Since(execStart)
 	s.qreg.Finish(aq, traces, err)
 	s.mExec.Observe(execDur.Seconds())
+	qt.exec = execDur
 
 	if err != nil {
 		code, kind := statusFor(err)
+		qt.finish(code, kind, err, traces)
 		s.fail(w, code, kind, err)
 		return
 	}
@@ -391,10 +457,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = append(resp.Rows, out)
 	}
 	resp.Stats = queryStats{
+		QueryID: qt.qid.String(),
 		QueueNS: queueWait.Nanoseconds(), PlanLookupNS: lookupDur.Nanoseconds(),
 		CompileNS: compileDur.Nanoseconds(), ExecNS: execDur.Nanoseconds(),
 		Rows: len(resp.Rows), Cached: cached,
 	}
+	qt.rows = len(resp.Rows)
+	qt.finish(http.StatusOK, "", nil, traces)
 	s.mRows.Add(int64(len(resp.Rows)))
 	s.count(http.StatusOK)
 	writeJSON(w, http.StatusOK, resp)
@@ -454,26 +523,6 @@ func statusFor(err error) (int, string) {
 func (s *Server) fail(w http.ResponseWriter, code int, kind string, err error) {
 	s.count(code)
 	writeJSON(w, code, queryError{Error: err.Error(), Kind: kind})
-}
-
-// failPlan maps a planning error: queries touching a quarantined table
-// fail fast with 503 (the data is unavailable, the query may be fine);
-// everything else is the client's 400.
-func (s *Server) failPlan(w http.ResponseWriter, err error) {
-	var ce *storage.CorruptError
-	if errors.As(err, &ce) {
-		s.fail(w, http.StatusServiceUnavailable, "quarantined", err)
-		return
-	}
-	s.fail(w, http.StatusBadRequest, "plan", err)
-}
-
-// shed refuses a request at admission with 503 + Retry-After and counts
-// the refusal by reason.
-func (s *Server) shed(w http.ResponseWriter, reason string, err error) {
-	s.mShed.With(reason).Inc()
-	w.Header().Set("Retry-After", "1")
-	s.fail(w, http.StatusServiceUnavailable, "shed-"+reason, err)
 }
 
 func (s *Server) count(code int) { s.mReqs.With(strconv.Itoa(code)).Inc() }

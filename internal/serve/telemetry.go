@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"voodoo/internal/telemetry"
+	"voodoo/internal/trace"
+)
+
+// queryTelemetry is one request's telemetry identity and timings. It is
+// created before the first admission gate so even refused requests carry
+// a query id, and finish fans the completed record out to every sink —
+// event log, span store, SLO tracker, structured log — exactly once.
+type queryTelemetry struct {
+	s   *Server
+	qid telemetry.QueryID
+	sql string
+
+	arrived  time.Time
+	deadline time.Duration // remaining budget at arrival (0 = none)
+
+	queueWait  time.Duration
+	planLookup time.Duration
+	compile    time.Duration
+	exec       time.Duration
+	cached     bool
+	rows       int
+
+	done bool
+}
+
+// beginTelemetry resolves the request's identity: an inbound W3C
+// traceparent is adopted (same trace id, caller's span as parent), any
+// other request gets a freshly minted id. Both the traceparent and the
+// bare query id echo on the response before any body is written, so a
+// client can always correlate its request with the server's telemetry.
+func (s *Server) beginTelemetry(w http.ResponseWriter, r *http.Request) *queryTelemetry {
+	qid, ok := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		qid = telemetry.MintQueryID()
+	}
+	h := w.Header()
+	h.Set("Traceparent", qid.Traceparent())
+	h.Set("X-Voodoo-Query-Id", qid.String())
+	return &queryTelemetry{s: s, qid: qid, arrived: time.Now()}
+}
+
+// context threads the query id — and, when the process logger is live, a
+// logger pre-bound to it — into ctx for the engine layers. The Enabled
+// guard keeps the disabled path allocation-free.
+func (qt *queryTelemetry) context(ctx context.Context) context.Context {
+	ctx = telemetry.WithQueryID(ctx, qt.qid)
+	if lg := telemetry.Default(); lg.Enabled(ctx, slog.LevelError) {
+		ctx = telemetry.WithLogger(ctx, lg.With("query_id", qt.qid.String()))
+	}
+	return ctx
+}
+
+// finish records the request's outcome everywhere it is observable:
+// the SLO budget, the JSONL event log (which applies its own sampling),
+// the span store, and the process log. kind is the error-kind label
+// ("" on success); err may be nil.
+func (qt *queryTelemetry) finish(status int, kind string, err error, traces []*trace.Trace) {
+	if qt.done {
+		return
+	}
+	qt.done = true
+	s := qt.s
+	wall := time.Since(qt.arrived)
+
+	// Only server-side failures burn error budget at any latency; client
+	// errors and cancellations count as good when they return in time.
+	s.slos.Observe("query", wall, status >= 500)
+
+	e := telemetry.Event{
+		Time: qt.arrived, QueryID: qt.qid.String(), SQL: qt.sql,
+		Status: status, Kind: kind,
+		WallNS: wall.Nanoseconds(), QueueNS: qt.queueWait.Nanoseconds(),
+		PlanLookupNS: qt.planLookup.Nanoseconds(), CompileNS: qt.compile.Nanoseconds(),
+		ExecNS: qt.exec.Nanoseconds(), Rows: qt.rows, Cached: qt.cached,
+		DeadlineNS: qt.deadline.Nanoseconds(),
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	s.events.Emit(e)
+
+	if s.spans != nil {
+		m := telemetry.QueryMeta{
+			ID: qt.qid, SQL: qt.sql, Start: qt.arrived, End: qt.arrived.Add(wall),
+			QueueWait: qt.queueWait, PlanLookup: qt.planLookup,
+			Compile: qt.compile, Cached: qt.cached,
+		}
+		if err != nil {
+			m.Status = kind + ": " + err.Error()
+		}
+		s.spans.Put(telemetry.BuildSpans(m, traces))
+	}
+
+	lg := telemetry.Default()
+	lvl := slog.LevelInfo
+	if status >= 500 {
+		lvl = slog.LevelWarn
+	}
+	if lg.Enabled(context.Background(), lvl) {
+		attrs := []slog.Attr{
+			slog.String("query_id", qt.qid.String()),
+			slog.Int("status", status),
+			slog.Duration("wall", wall),
+			slog.Duration("queue_wait", qt.queueWait),
+			slog.Int("rows", qt.rows),
+			slog.Bool("cached_plan", qt.cached),
+		}
+		if qt.sql != "" {
+			attrs = append(attrs, slog.String("sql", qt.sql))
+		}
+		if kind != "" {
+			attrs = append(attrs, slog.String("kind", kind))
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+		}
+		lg.LogAttrs(context.Background(), lvl, "query", attrs...)
+	}
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"voodoo/internal/metrics"
+	"voodoo/internal/telemetry"
+	"voodoo/internal/telemetry/slo"
+)
+
+// syncBuffer is a locked bytes.Buffer standing in for the event-log
+// file.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestQueryIDCorrelation is the end-to-end correlation walk: a request
+// arrives with a W3C traceparent, and the same query id must appear in
+// the response headers and stats, the JSONL event log, the /debug/spans
+// tree (with the caller's span as the root's parent), and the
+// slow-query ring entry.
+func TestQueryIDCorrelation(t *testing.T) {
+	const (
+		traceID    = "4bf92f3577b34da6a3ce929d0e0e4736"
+		parentSpan = "00f067aa0ba902b7"
+	)
+	var buf syncBuffer
+	events := telemetry.NewEventLog(telemetry.EventLogConfig{
+		W: &buf, SampleRate: 1.0, Registry: testRegistry(t),
+	})
+	s := New(Config{
+		Cat: testCat, Timeout: 30 * time.Second,
+		Registry: testRegistry(t), Events: events,
+		SLO: []slo.Objective{{Route: "query", Latency: 10 * time.Second, Target: 0.99}},
+	})
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+
+	req, _ := http.NewRequest("POST", srv.URL+"/query",
+		strings.NewReader("SELECT COUNT(*) AS n FROM lineitem"))
+	req.Header.Set("traceparent", "00-"+traceID+"-"+parentSpan+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// 1. Response headers echo the identity: the inbound trace id is
+	// kept, the server's own span replaces the caller's.
+	if got := resp.Header.Get("X-Voodoo-Query-Id"); got != traceID {
+		t.Errorf("X-Voodoo-Query-Id = %q, want %q", got, traceID)
+	}
+	tp := resp.Header.Get("Traceparent")
+	if !strings.HasPrefix(tp, "00-"+traceID+"-") || strings.Contains(tp, parentSpan) {
+		t.Errorf("response traceparent %q should keep trace id %s with a fresh span", tp, traceID)
+	}
+
+	// 2. The response stats carry the same id.
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("bad response: %v", err)
+	}
+	if qr.Stats.QueryID != traceID {
+		t.Errorf("stats.query_id = %q, want %q", qr.Stats.QueryID, traceID)
+	}
+
+	// 3. The JSONL event log has the event (rate 1.0) under the same id.
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var ev telemetry.Event
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &ev); err != nil {
+		t.Fatalf("bad event line: %v\n%s", err, buf.String())
+	}
+	if ev.QueryID != traceID || ev.Status != 200 || ev.WallNS <= 0 || ev.Rows != 1 {
+		t.Errorf("event not correlated: %+v", ev)
+	}
+	if ev.DeadlineNS <= 0 {
+		t.Errorf("event missing the deadline budget: %+v", ev)
+	}
+
+	// 4. /debug/spans returns the span tree: root span parented on the
+	// caller's span, with admission/plan/exec children under it.
+	code, spansBody := getBody(t, srv.URL+"/debug/spans?query_id="+traceID)
+	if code != 200 {
+		t.Fatalf("/debug/spans status %d: %s", code, spansBody)
+	}
+	var qs telemetry.QuerySpans
+	if err := json.Unmarshal([]byte(spansBody), &qs); err != nil {
+		t.Fatal(err)
+	}
+	if qs.QueryID != traceID || len(qs.Spans) < 2 {
+		t.Fatalf("span tree incomplete: %s", spansBody)
+	}
+	root := qs.Spans[0]
+	if root.Name != "query" || root.TraceID != traceID || root.ParentSpanID != parentSpan {
+		t.Errorf("root span not linked to the caller: %+v", root)
+	}
+	var sawExec bool
+	for _, sp := range qs.Spans[1:] {
+		if sp.ParentSpanID == "" {
+			t.Errorf("orphan span %+v", sp)
+		}
+		if sp.Name == "exec" {
+			sawExec = true
+		}
+	}
+	if !sawExec {
+		t.Errorf("no exec phase span in %s", spansBody)
+	}
+
+	// 5. The slow-query ring entry carries the id and the admission
+	// numbers.
+	slow := s.QueryRegistry().Slow()
+	if len(slow) == 0 {
+		t.Fatal("no slow-ring entry")
+	}
+	if slow[0].QueryID != traceID {
+		t.Errorf("slow ring query_id = %q, want %q", slow[0].QueryID, traceID)
+	}
+	if slow[0].DeadlineNS <= 0 {
+		t.Errorf("slow ring missing deadline budget: %+v", slow[0])
+	}
+
+	// 6. /healthz reports build identity and the SLO budget.
+	code, hz := getBody(t, srv.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz status %d", code)
+	}
+	if !strings.Contains(hz, `"go_version"`) || !strings.Contains(hz, `"burn_rate"`) {
+		t.Errorf("/healthz missing build or SLO state: %s", hz)
+	}
+	if !strings.Contains(hz, `"window_good": 1`) {
+		t.Errorf("/healthz SLO did not observe the query: %s", hz)
+	}
+}
+
+// TestMintedQueryID: a request without a traceparent gets a minted id
+// that still correlates across the sinks.
+func TestMintedQueryID(t *testing.T) {
+	s := New(Config{Cat: testCat, Registry: testRegistry(t)})
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/query", "text/plain",
+		strings.NewReader("SELECT COUNT(*) AS n FROM lineitem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	id := resp.Header.Get("X-Voodoo-Query-Id")
+	if len(id) != 32 || id == strings.Repeat("0", 32) {
+		t.Fatalf("minted id %q not a 32-hex trace id", id)
+	}
+	if code, _ := getBody(t, srv.URL+"/debug/spans?query_id="+id); code != 200 {
+		t.Errorf("/debug/spans lookup by minted id: status %d", code)
+	}
+	if slow := s.QueryRegistry().Slow(); len(slow) == 0 || slow[0].QueryID != id {
+		t.Errorf("slow ring id mismatch")
+	}
+}
+
+// TestUnsampledNoWrite: with sampling off, a successful query leaves no
+// JSONL write behind — the sink counts it as sampled out and the buffer
+// stays empty.
+func TestUnsampledNoWrite(t *testing.T) {
+	var buf syncBuffer
+	events := telemetry.NewEventLog(telemetry.EventLogConfig{
+		W: &buf, SampleRate: 0, Registry: testRegistry(t),
+	})
+	s := New(Config{Cat: testCat, Registry: testRegistry(t), Events: events})
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+
+	if code, _, body := postQuery(t, srv.URL, "SELECT COUNT(*) AS n FROM lineitem"); code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "" {
+		t.Errorf("unsampled query wrote an event: %s", got)
+	}
+	if events.SampledOut() != 1 || events.Accepted() != 0 {
+		t.Errorf("sampling accounting off: sampledOut=%d accepted=%d",
+			events.SampledOut(), events.Accepted())
+	}
+
+	// An error is retained regardless of the rate.
+	if code, _, _ := postQuery(t, srv.URL, "SELECT bogus FROM nope"); code == 200 {
+		t.Fatal("bogus query succeeded")
+	}
+}
+
+// testRegistry returns a fresh private registry per call so telemetry
+// tests don't collide on metric names in metrics.Default.
+func testRegistry(t *testing.T) *metrics.Registry {
+	t.Helper()
+	return metrics.NewRegistry()
+}

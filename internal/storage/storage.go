@@ -13,16 +13,20 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"voodoo/internal/telemetry"
 	"voodoo/internal/vector"
 )
 
@@ -332,6 +336,7 @@ func (e *CorruptError) Unwrap() error { return e.Err }
 
 // Save writes the catalog's tables under dir, one file per table.
 func (c *Catalog) Save(dir string) error {
+	start := time.Now()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -339,6 +344,12 @@ func (c *Catalog) Save(dir string) error {
 		if err := c.tables[name].Save(filepath.Join(dir, name+".vdb")); err != nil {
 			return fmt.Errorf("storage: saving %s: %w", name, err)
 		}
+	}
+	if lg := telemetry.Default(); lg.Enabled(context.Background(), slog.LevelInfo) {
+		lg.LogAttrs(context.Background(), slog.LevelInfo, "storage: catalog saved",
+			slog.String("dir", dir),
+			slog.Int("tables", len(c.Tables())),
+			slog.Duration("wall", time.Since(start)))
 	}
 	return nil
 }
@@ -363,6 +374,8 @@ func Load(dir string) (*Catalog, error) {
 // permission errors); integrity failures land in Catalog.Quarantined so
 // a daemon can start in degraded mode and keep serving healthy tables.
 func LoadDegraded(dir string) (*Catalog, error) {
+	start := time.Now()
+	lg := telemetry.Default()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -378,12 +391,25 @@ func LoadDegraded(dir string) (*Catalog, error) {
 			if errors.As(err, &ce) {
 				// The table name inside the file may be unreadable; fall
 				// back to the file's base name.
-				c.Quarantine(strings.TrimSuffix(e.Name(), ".vdb"), ce)
+				name := strings.TrimSuffix(e.Name(), ".vdb")
+				c.Quarantine(name, ce)
+				if lg.Enabled(context.Background(), slog.LevelWarn) {
+					lg.LogAttrs(context.Background(), slog.LevelWarn,
+						"storage: table quarantined",
+						slog.String("table", name), slog.String("error", ce.Error()))
+				}
 				continue
 			}
 			return nil, fmt.Errorf("storage: loading %s: %w", e.Name(), err)
 		}
 		c.Add(t)
+	}
+	if lg.Enabled(context.Background(), slog.LevelInfo) {
+		lg.LogAttrs(context.Background(), slog.LevelInfo, "storage: catalog loaded",
+			slog.String("dir", dir),
+			slog.Int("tables", len(c.Tables())),
+			slog.Int("quarantined", len(c.Quarantined())),
+			slog.Duration("wall", time.Since(start)))
 	}
 	return c, nil
 }

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Structured logging, threaded via context. The rules:
+//
+//   - Every record a query emits carries query_id: the serve layer binds
+//     the id once per request (WithLogger on a logger carrying the attr)
+//     and the engine layers pick the logger up with LoggerFrom.
+//   - Disabled logging is allocation-free: LoggerFrom falls back to a
+//     discard logger whose handler reports Enabled() == false, and hot
+//     paths guard record construction with Enabled checks.
+//   - Long-running processes route everything through one process
+//     default (SetDefault); libraries never construct their own output
+//     handlers, so a daemon's log stream stays uniform JSON.
+
+// discardHandler drops everything. (The stdlib gained an equivalent in a
+// later Go release; this keeps the module's floor at go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Discard is a logger that drops every record without allocating.
+var Discard = slog.New(discardHandler{})
+
+// defaultLogger is the process-wide fallback (Discard until a daemon
+// installs a real one).
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() { defaultLogger.Store(Discard) }
+
+// SetDefault installs the process-wide default logger that LoggerFrom
+// falls back to when the context carries none. Daemons call it once at
+// startup; nil restores the discard logger.
+func SetDefault(l *slog.Logger) {
+	if l == nil {
+		l = Discard
+	}
+	defaultLogger.Store(l)
+}
+
+// Default returns the process-wide default logger (never nil).
+func Default() *slog.Logger { return defaultLogger.Load() }
+
+// InstallJSON installs the process-wide default logger as a JSON
+// handler writing to w at the named level ("debug", "info", "warn",
+// "error"; "off" keeps the discard logger). It is the one line every
+// daemon's -log-level flag needs.
+func InstallJSON(w io.Writer, level string) error {
+	if strings.EqualFold(strings.TrimSpace(level), "off") {
+		SetDefault(nil)
+		return nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad log level %q (want debug, info, warn, error or off)", level)
+	}
+	SetDefault(slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl})))
+	return nil
+}
+
+type loggerKey struct{}
+
+// WithLogger returns a context carrying l. The serve layer binds the
+// request's query_id attr onto l first, so every record logged through
+// this context correlates.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// LoggerFrom returns the logger carried by ctx, falling back to the
+// process default. Never nil, so callers can guard hot paths with
+// LoggerFrom(ctx).Enabled(ctx, level) — false on the discard fallback,
+// and the guard itself does not allocate.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return defaultLogger.Load()
+}

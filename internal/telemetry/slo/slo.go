@@ -1,0 +1,250 @@
+// Package slo tracks latency objectives per route and turns them into
+// the two numbers an operator actually pages on: the good/bad request
+// counters (voodoo_slo_{good,bad}_total) and the error-budget burn rate
+// over a sliding window. A request is "good" when it completes within
+// its route's latency objective and without a server-side failure;
+// everything else — too slow, 5xx, shed, panicked — burns budget.
+//
+// Burn rate is normalized to the objective: 1.0 means the route is
+// failing exactly at its budgeted rate (e.g. 1% of requests bad for a
+// 99% objective), below 1.0 the budget is accumulating, above it the
+// budget is burning down — 10x burn on a 99% objective means 10% of the
+// window's requests were bad. The serve layer surfaces the snapshot on
+// /healthz so the budget state travels with the readiness probe.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"voodoo/internal/metrics"
+)
+
+// Objective is one route's latency SLO.
+type Objective struct {
+	// Route names the request class ("query" for /query traffic).
+	Route string `json:"route"`
+	// Latency is the per-request objective: a request slower than this
+	// is bad even when it succeeds.
+	Latency time.Duration `json:"latency_ns"`
+	// Target is the objective ratio, e.g. 0.99 — at most 1% of requests
+	// may be bad before the budget exhausts.
+	Target float64 `json:"target"`
+}
+
+// DefaultWindow is the sliding window burn rates are computed over.
+const DefaultWindow = 5 * time.Minute
+
+const windowBuckets = 30
+
+// bucket holds one window slice's counts.
+type bucket struct {
+	start     time.Time
+	good, bad int64
+}
+
+// routeState is one objective's tracking state.
+type routeState struct {
+	obj             Objective
+	goodC, badC     *metrics.Counter
+	burnG           *metrics.Gauge
+	buckets         [windowBuckets]bucket
+	cur             int
+	totGood, totBad int64
+}
+
+// Tracker tracks a set of objectives. Safe for concurrent use; Observe
+// is one mutex acquisition plus two atomic adds, far off any hot loop
+// (once per HTTP request).
+type Tracker struct {
+	window time.Duration
+	now    func() time.Time // injectable for tests
+
+	mu     sync.Mutex
+	routes map[string]*routeState
+}
+
+// New builds a tracker over the given objectives, registering their
+// counters and burn-rate gauges on reg (nil = metrics.Default). window
+// <= 0 uses DefaultWindow.
+func New(reg *metrics.Registry, window time.Duration, objectives ...Objective) *Tracker {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	goodV := reg.CounterVec("voodoo_slo_good_total",
+		"Requests that met their route's latency objective.", "route")
+	badV := reg.CounterVec("voodoo_slo_bad_total",
+		"Requests that missed their route's latency objective (slow or failed).", "route")
+	burnV := reg.GaugeVec("voodoo_slo_burn_rate",
+		"Error-budget burn rate over the sliding window (1.0 = burning exactly at budget).", "route")
+	t := &Tracker{window: window, now: time.Now, routes: map[string]*routeState{}}
+	for _, o := range objectives {
+		if o.Route == "" || o.Target <= 0 || o.Target >= 1 || o.Latency <= 0 {
+			continue
+		}
+		t.routes[o.Route] = &routeState{
+			obj:   o,
+			goodC: goodV.With(o.Route),
+			badC:  badV.With(o.Route),
+			burnG: burnV.With(o.Route),
+		}
+	}
+	return t
+}
+
+// Observe folds one finished request into its route's budget. failed
+// marks server-side failures (5xx, shed, panic) — they are bad at any
+// latency. Unknown routes are ignored; a nil tracker is a no-op.
+func (t *Tracker) Observe(route string, latency time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs, ok := t.routes[route]
+	if !ok {
+		return
+	}
+	t.rotate(rs, t.now())
+	b := &rs.buckets[rs.cur]
+	if !failed && latency <= rs.obj.Latency {
+		b.good++
+		rs.totGood++
+		rs.goodC.Inc()
+	} else {
+		b.bad++
+		rs.totBad++
+		rs.badC.Inc()
+	}
+	rs.burnG.Set(burnRate(rs))
+}
+
+// rotate advances rs's ring so the current bucket covers now, zeroing
+// buckets whose window slice has passed.
+func (t *Tracker) rotate(rs *routeState, now time.Time) {
+	slice := t.window / windowBuckets
+	cur := &rs.buckets[rs.cur]
+	if cur.start.IsZero() {
+		cur.start = now
+		return
+	}
+	for now.Sub(rs.buckets[rs.cur].start) >= slice {
+		next := (rs.cur + 1) % windowBuckets
+		rs.buckets[next] = bucket{start: rs.buckets[rs.cur].start.Add(slice)}
+		rs.cur = next
+		// Cap catch-up: after an idle gap longer than the window the
+		// whole ring is stale; restart it at now.
+		if now.Sub(rs.buckets[rs.cur].start) >= t.window {
+			for i := range rs.buckets {
+				rs.buckets[i] = bucket{}
+			}
+			rs.cur = 0
+			rs.buckets[0].start = now
+			return
+		}
+	}
+}
+
+// burnRate computes the window's burn rate for rs: the bad fraction
+// divided by the budgeted bad fraction (1 - target). An empty window
+// burns nothing.
+func burnRate(rs *routeState) float64 {
+	var good, bad int64
+	for i := range rs.buckets {
+		good += rs.buckets[i].good
+		bad += rs.buckets[i].bad
+	}
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	badFrac := float64(bad) / float64(total)
+	return badFrac / (1 - rs.obj.Target)
+}
+
+// BudgetState is one route's budget snapshot — the /healthz payload.
+type BudgetState struct {
+	Route      string  `json:"route"`
+	LatencyMS  float64 `json:"objective_latency_ms"`
+	Target     float64 `json:"target"`
+	WindowGood int64   `json:"window_good"`
+	WindowBad  int64   `json:"window_bad"`
+	TotalGood  int64   `json:"total_good"`
+	TotalBad   int64   `json:"total_bad"`
+	// BurnRate is the window's normalized burn: 1.0 = exactly at budget.
+	BurnRate float64 `json:"burn_rate"`
+	// Healthy is BurnRate <= 1: the route is inside its error budget.
+	Healthy bool `json:"healthy"`
+}
+
+// Snapshot returns every route's budget state, route-sorted. Nil-safe.
+func (t *Tracker) Snapshot() []BudgetState {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	out := make([]BudgetState, 0, len(t.routes))
+	for _, rs := range t.routes {
+		t.rotate(rs, now)
+		var good, bad int64
+		for i := range rs.buckets {
+			good += rs.buckets[i].good
+			bad += rs.buckets[i].bad
+		}
+		burn := burnRate(rs)
+		rs.burnG.Set(burn)
+		out = append(out, BudgetState{
+			Route: rs.obj.Route, LatencyMS: float64(rs.obj.Latency) / 1e6,
+			Target: rs.obj.Target, WindowGood: good, WindowBad: bad,
+			TotalGood: rs.totGood, TotalBad: rs.totBad,
+			// The epsilon keeps exactly-at-budget burns (1.0 up to the
+			// float error in 1-target) on the healthy side of the line.
+			BurnRate: burn, Healthy: burn <= 1+1e-9,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// Parse parses a flag-friendly objective list:
+//
+//	"query=250ms:0.99"              one route
+//	"query=250ms:0.99,admin=1s:0.999"  several
+//
+// Each entry is route=latency:target with latency in time.ParseDuration
+// syntax and target in (0,1).
+func Parse(s string) ([]Objective, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Objective
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		route, spec, ok := strings.Cut(ent, "=")
+		if !ok || route == "" {
+			return nil, fmt.Errorf("slo: bad objective %q (want route=latency:target)", ent)
+		}
+		latStr, tgtStr, ok := strings.Cut(spec, ":")
+		if !ok {
+			return nil, fmt.Errorf("slo: bad objective %q (want route=latency:target)", ent)
+		}
+		lat, err := time.ParseDuration(latStr)
+		if err != nil || lat <= 0 {
+			return nil, fmt.Errorf("slo: bad latency in %q: %v", ent, err)
+		}
+		var tgt float64
+		if _, err := fmt.Sscanf(tgtStr, "%g", &tgt); err != nil || tgt <= 0 || tgt >= 1 {
+			return nil, fmt.Errorf("slo: bad target in %q (want a ratio in (0,1))", ent)
+		}
+		out = append(out, Objective{Route: route, Latency: lat, Target: tgt})
+	}
+	return out, nil
+}

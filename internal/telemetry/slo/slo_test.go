@@ -1,0 +1,133 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"voodoo/internal/metrics"
+)
+
+// fixedClock advances only when told to.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) now() time.Time          { return c.t }
+func (c *fixedClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker(window time.Duration, objs ...Objective) (*Tracker, *fixedClock, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	tr := New(reg, window, objs...)
+	clk := &fixedClock{t: time.Unix(1000, 0)}
+	tr.now = clk.now
+	return tr, clk, reg
+}
+
+// TestGoodBadClassification: within-latency successes are good; slow or
+// failed requests burn budget; counters and burn gauge move accordingly.
+func TestGoodBadClassification(t *testing.T) {
+	tr, _, reg := newTestTracker(time.Minute, Objective{Route: "query", Latency: 100 * time.Millisecond, Target: 0.9})
+
+	for i := 0; i < 9; i++ {
+		tr.Observe("query", 10*time.Millisecond, false)
+	}
+	tr.Observe("query", 500*time.Millisecond, false) // slow = bad
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d routes", len(snap))
+	}
+	s := snap[0]
+	if s.WindowGood != 9 || s.WindowBad != 1 {
+		t.Fatalf("window good/bad = %d/%d, want 9/1", s.WindowGood, s.WindowBad)
+	}
+	// 10% bad against a 10% budget: burning exactly at budget.
+	if s.BurnRate < 0.99 || s.BurnRate > 1.01 || !s.Healthy {
+		t.Errorf("burn rate %.3f healthy=%v, want ~1.0 healthy", s.BurnRate, s.Healthy)
+	}
+
+	// A fast 5xx is still bad.
+	tr.Observe("query", time.Millisecond, true)
+	if s := tr.Snapshot()[0]; s.WindowBad != 2 {
+		t.Errorf("failed request not counted bad: %+v", s)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	exp := sb.String()
+	for _, want := range []string{
+		`voodoo_slo_good_total{route="query"} 9`,
+		`voodoo_slo_bad_total{route="query"} 2`,
+		"# TYPE voodoo_slo_burn_rate gauge",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+
+	// Unknown routes and nil trackers are no-ops.
+	tr.Observe("nope", time.Millisecond, false)
+	var nilT *Tracker
+	nilT.Observe("query", 0, false)
+	if nilT.Snapshot() != nil {
+		t.Error("nil tracker snapshotted something")
+	}
+}
+
+// TestWindowSlides: bad requests age out of the burn window while the
+// cumulative counters keep them.
+func TestWindowSlides(t *testing.T) {
+	tr, clk, _ := newTestTracker(time.Minute, Objective{Route: "query", Latency: time.Millisecond, Target: 0.99})
+
+	tr.Observe("query", time.Second, false) // bad
+	if s := tr.Snapshot()[0]; s.Healthy {
+		t.Fatalf("100%% bad window reads healthy: %+v", s)
+	}
+
+	// Slide past the whole window; the burn resets, totals persist.
+	clk.advance(2 * time.Minute)
+	for i := 0; i < 5; i++ {
+		tr.Observe("query", 100*time.Microsecond, false)
+	}
+	s := tr.Snapshot()[0]
+	if s.WindowBad != 0 || s.WindowGood != 5 {
+		t.Fatalf("window did not slide: %+v", s)
+	}
+	if s.BurnRate != 0 || !s.Healthy {
+		t.Errorf("aged-out burn still reads %v", s.BurnRate)
+	}
+	if s.TotalBad != 1 || s.TotalGood != 5 {
+		t.Errorf("cumulative totals lost: %+v", s)
+	}
+}
+
+// TestPartialSlide: within the window, old buckets retire one slice at a
+// time rather than all at once.
+func TestPartialSlide(t *testing.T) {
+	tr, clk, _ := newTestTracker(time.Minute, Objective{Route: "query", Latency: time.Millisecond, Target: 0.5})
+	tr.Observe("query", time.Second, false) // bad, t=0
+	clk.advance(30 * time.Second)           // half the window
+	tr.Observe("query", time.Microsecond, false)
+	s := tr.Snapshot()[0]
+	if s.WindowBad != 1 || s.WindowGood != 1 {
+		t.Fatalf("mid-window slide dropped counts: %+v", s)
+	}
+}
+
+// TestParse: the flag syntax round-trips and rejects garbage.
+func TestParse(t *testing.T) {
+	objs, err := Parse("query=250ms:0.99, admin=1s:0.999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Route != "query" || objs[0].Latency != 250*time.Millisecond ||
+		objs[0].Target != 0.99 || objs[1].Route != "admin" || objs[1].Latency != time.Second {
+		t.Fatalf("bad parse: %+v", objs)
+	}
+	if objs, err := Parse(""); err != nil || objs != nil {
+		t.Errorf("empty spec: %v %v", objs, err)
+	}
+	for _, bad := range []string{"query", "query=250ms", "query=nope:0.99", "query=250ms:1.5", "query=250ms:0", "=250ms:0.9"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", bad)
+		}
+	}
+}

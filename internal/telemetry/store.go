@@ -1,0 +1,82 @@
+package telemetry
+
+import "sync"
+
+// SpanStore retains the span trees of the most recent queries for the
+// diagnostics server's /debug/spans?query_id= endpoint — the last hop of
+// the metric → log line → span tree debugging walk. It is a fixed-size
+// ring: the N+1th query evicts the oldest retained tree.
+type SpanStore struct {
+	mu    sync.Mutex
+	ring  []QuerySpans
+	index map[string]int // query id → ring slot
+	next  int
+}
+
+// NewSpanStore returns a store retaining the n most recent span trees
+// (n <= 0 defaults to 64).
+func NewSpanStore(n int) *SpanStore {
+	if n <= 0 {
+		n = 64
+	}
+	return &SpanStore{ring: make([]QuerySpans, n), index: make(map[string]int, n)}
+}
+
+// Put retains qs, evicting the oldest retained tree once full.
+func (s *SpanStore) Put(qs QuerySpans) {
+	if s == nil || qs.QueryID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot := s.next
+	s.next = (s.next + 1) % len(s.ring)
+	if old := s.ring[slot].QueryID; old != "" {
+		delete(s.index, old)
+	}
+	s.ring[slot] = qs
+	s.index[qs.QueryID] = slot
+}
+
+// Get returns the retained span tree of queryID.
+func (s *SpanStore) Get(queryID string) (QuerySpans, bool) {
+	if s == nil {
+		return QuerySpans{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.index[queryID]
+	if !ok {
+		return QuerySpans{}, false
+	}
+	return s.ring[slot], true
+}
+
+// IDs lists the retained query ids, most recent first — the index page
+// of /debug/spans.
+func (s *SpanStore) IDs() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.index))
+	n := len(s.ring)
+	for i := 1; i <= n; i++ {
+		slot := ((s.next-i)%n + n) % n
+		if id := s.ring[slot].QueryID; id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained trees.
+func (s *SpanStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
