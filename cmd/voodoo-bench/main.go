@@ -26,6 +26,7 @@ import (
 
 	"voodoo/internal/bench"
 	"voodoo/internal/diag"
+	"voodoo/internal/exec"
 	"voodoo/internal/metrics"
 	"voodoo/internal/telemetry"
 )
@@ -39,9 +40,13 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "ci: committed baseline to compare against")
 	writeBaseline := flag.Bool("write-baseline", false, "ci: rewrite the baseline instead of comparing")
 	diagAddr := flag.String("diag-addr", "", "serve /metrics, pprof and expvar on this address while the benchmarks run (e.g. localhost:6060)")
+	noSpecialize := flag.Bool("no-specialize", false, "disable fragment specialization for every benchmark run (per-element interpreter only)")
 	logLevel := flag.String("log-level", "off", "structured-log threshold on stderr: debug, info, warn, error or off")
 	flag.Parse()
 
+	if *noSpecialize {
+		exec.SetSpecializeDefault(false)
+	}
 	if err := telemetry.InstallJSON(os.Stderr, *logLevel); err != nil {
 		fatal(err)
 	}
@@ -187,12 +192,13 @@ func runCI(outPath, basePath string, writeBaseline bool) error {
 	if err != nil {
 		return err
 	}
-	// The scaling check measures real wall clock, so its figures stay out
-	// of the committed (deterministic) baseline; it soft-gates below like
-	// the allocation counters.
+	// The scaling and specialization checks measure real wall clock, so
+	// their figures stay out of the committed (deterministic) baseline;
+	// they soft-gate below like the allocation counters.
 	var scalingWarns []string
 	if !writeBaseline {
 		scalingWarns = bench.ScalingCheck(rep)
+		scalingWarns = append(scalingWarns, bench.SpecializeCheck(rep)...)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -55,6 +55,7 @@ func main() {
 	progFile := flag.String("prog", "", "run a textual Voodoo program (paper SSA notation) from this file")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (e.g. 500ms; 0 = unlimited)")
 	morsel := flag.Int("morsel", 0, "scheduling granularity of parallel fragments in work items (0 = default)")
+	noSpecialize := flag.Bool("no-specialize", false, "disable fragment specialization (batch primitives and fused fast paths); run every fragment through the per-element interpreter")
 	maxMem := flag.String("max-mem", "", "per-query buffer allocation budget (e.g. 64m, 1g; empty = unlimited)")
 	explain := flag.Bool("explain", false, "print the static execution plan (TPC-H -q queries still execute, to drive multi-phase lowering)")
 	analyze := flag.Bool("explain-analyze", false, "run the query and print the plan with measured per-step times, items and bytes")
@@ -113,6 +114,7 @@ func main() {
 	e.Opt = compile.Options{Predication: *predicate}
 	e.Limits = limits
 	e.MorselSize = *morsel
+	e.NoSpecialize = *noSpecialize
 
 	if *progFile != "" {
 		src, err := os.ReadFile(*progFile)

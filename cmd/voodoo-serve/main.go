@@ -10,6 +10,7 @@
 //	             [-sf SF] [-data DIR] [-backend compiled|interp|bulk] [-predicate]
 //	             [-timeout 30s] [-max-mem 1g] [-max-extent N] [-max-heap 4g]
 //	             [-concurrency N] [-morsel N] [-slow N] [-plan-cache N] [-no-pool]
+//	             [-no-specialize]
 //	             [-drain-timeout 10s]
 //	             [-log-level info] [-events FILE] [-event-sample 0.01]
 //	             [-slow-threshold 1s] [-slo query=500ms:0.99] [-spans N]
@@ -85,6 +86,7 @@ func main() {
 	maxExtent := flag.Int("max-extent", 0, "per-request fragment extent cap (0 = unlimited)")
 	concurrency := flag.Int("concurrency", 0, "max queries executing at once (0 = GOMAXPROCS); excess requests queue")
 	morsel := flag.Int("morsel", 0, "scheduling granularity of parallel fragments in work items (0 = default)")
+	noSpecialize := flag.Bool("no-specialize", false, "disable fragment specialization (batch primitives and fused fast paths); run every fragment through the per-element interpreter")
 	slowN := flag.Int("slow", 16, "retain full traces of the N slowest queries")
 	planCache := flag.Int("plan-cache", 0, "compiled-plan cache capacity in entries (0 = 256, negative disables)")
 	noPool := flag.Bool("no-pool", false, "disable the kernel-buffer pool (each query allocates fresh)")
@@ -144,6 +146,7 @@ func main() {
 		Timeout:       *timeout,
 		MaxConcurrent: *concurrency,
 		MorselSize:    *morsel,
+		NoSpecialize:  *noSpecialize,
 		SlowQueries:   *slowN,
 		PlanCache:     *planCache,
 		NoPool:        *noPool,

@@ -182,6 +182,9 @@ func CompareCI(cur, base *CIReport, tol float64) []string {
 		if strings.HasPrefix(name, "scaling/") {
 			continue // real wall clock, soft-gated by ScalingCheck
 		}
+		if strings.HasPrefix(name, "specialize/") {
+			continue // real wall clock, soft-gated by SpecializeCheck
+		}
 		bv := base.Medians[name]
 		cv, ok := cur.Medians[name]
 		if !ok {

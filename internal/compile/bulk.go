@@ -179,6 +179,19 @@ func (c *compiler) spillSel(si *selInfo) *desc {
 	}
 	numRuns := ctrl.numRuns(si.srcN)
 	posBuf := c.addBuf("selpos", vector.Int, si.srcN, true, false)
+	out := &desc{n: si.srcN, attrs: []attr{{
+		name:    si.outName,
+		ex:      &eLoad{buf: posBuf, k: vector.Int, idx: theIdx},
+		validEx: &eLoadValid{buf: posBuf, idx: theIdx},
+	}}}
+	if c.pruneEmpty(si.pred) {
+		// Zone maps prove the predicate never passes: the positions buffer
+		// stays zeroed with all-false validity — bit-identical to running
+		// the selection — and the fragment is never emitted.
+		c.plan.steps = append(c.plan.steps, &prunedStep{
+			name: fmt.Sprintf("sel_%d", len(c.kern.Frags)), stmts: []int{si.stmt}})
+		return out
+	}
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("sel_%d", len(c.kern.Frags)),
 		Extent: numRuns, Intent: ctrl.runLen, N: si.srcN,
@@ -206,11 +219,7 @@ func (c *compiler) spillSel(si *selInfo) *desc {
 	}
 	f.Loops = []kernel.Loop{{Body: body}}
 	c.addFrag(f)
-	return &desc{n: si.srcN, attrs: []attr{{
-		name:    si.outName,
-		ex:      &eLoad{buf: posBuf, k: vector.Int, idx: theIdx},
-		validEx: &eLoadValid{buf: posBuf, idx: theIdx},
-	}}}
+	return out
 }
 
 // spillFilt materializes a gather-through-select: the paper's Figure 1
@@ -222,6 +231,21 @@ func (c *compiler) spillFilt(fi *filtInfo) *desc {
 		ctrl.runLen = fi.sel.srcN
 	}
 	numRuns := ctrl.numRuns(fi.sel.srcN)
+	if c.pruneEmpty(fi.sel.pred) {
+		// Zone maps prove the selection never passes: every filtered
+		// column arrives zeroed and all-invalid, exactly as the fragment
+		// would leave it, so only the plan-time step record remains.
+		out := &desc{n: fi.sel.srcN}
+		for _, a := range fi.attrs {
+			buf := c.addBuf("filt."+a.name, a.kind(), fi.sel.srcN, true, false)
+			out.attrs = append(out.attrs, attr{name: a.name,
+				ex:      &eLoad{buf: buf, k: a.kind(), idx: theIdx},
+				validEx: &eLoadValid{buf: buf, idx: theIdx}})
+		}
+		c.plan.steps = append(c.plan.steps, &prunedStep{
+			name: fmt.Sprintf("filt_%d", len(c.kern.Frags)), stmts: []int{fi.sel.stmt, fi.stmt}})
+		return out
+	}
 	f := &kernel.Fragment{
 		Name:   fmt.Sprintf("filt_%d", len(c.kern.Frags)),
 		Extent: numRuns, Intent: ctrl.runLen, N: fi.sel.srcN,

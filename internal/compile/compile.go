@@ -89,6 +89,10 @@ type compiler struct {
 	// foldCache holds the results of fused multi-aggregate folds, keyed
 	// by fold statement id.
 	foldCache map[core.Ref]*desc
+	// ranges holds zone-map value intervals for input buffers whose
+	// storage exposes column statistics (see zonemap.go); nil when the
+	// storage provides none.
+	ranges map[int]valRange
 }
 
 type compileErr struct{ err error }
@@ -195,6 +199,7 @@ func (c *compiler) compileLoad(s *core.Stmt) *desc {
 			Valid: !col.AllValid(), Input: true,
 		})
 		c.plan.steps = append(c.plan.steps, &bindStep{buf: buf, col: col})
+		c.recordRange(buf, s.Name, name)
 		a := attr{name: name, ex: &eLoad{buf: buf, k: col.Kind(), idx: theIdx}}
 		if !col.AllValid() {
 			a.validEx = &eLoadValid{buf: buf, idx: theIdx}

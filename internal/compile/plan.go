@@ -63,6 +63,11 @@ type RunOpts struct {
 	// bit-identical for every value; the knob trades scheduling overhead
 	// against skew absorption.
 	MorselSize int
+	// Specialize selects how much fragment specialization the executor
+	// applies (default SpecializeAuto: fused fast paths plus batch
+	// primitives). Results are bit-identical across every mode;
+	// exec.SpecializeOff is the -no-specialize escape hatch.
+	Specialize exec.SpecMode
 }
 
 // Result holds root values (in the interpreter's padded layout) and, when
@@ -94,6 +99,7 @@ type runtime struct {
 	stats  *exec.Stats
 	arena  *vector.Arena
 	morsel int
+	spec   exec.SpecMode
 }
 
 type step interface {
@@ -132,7 +138,7 @@ func (s *fragStep) run(rt *runtime) error {
 		fs = &rt.stats.Frags[len(rt.stats.Frags)-1]
 	}
 	return exec.RunFragmentPar(rt.ctx, s.f, rt.env,
-		exec.Par{Workers: rt.plan.opt.Workers, Morsel: rt.morsel}, fs)
+		exec.Par{Workers: rt.plan.opt.Workers, Morsel: rt.morsel, Spec: rt.spec}, fs)
 }
 
 func (s *fragStep) stepName() string { return "fragment " + s.f.Name }
@@ -182,6 +188,19 @@ func (s *bulkStep) run(rt *runtime) error {
 }
 
 func (s *bulkStep) stepName() string { return "bulk " + s.name }
+
+// prunedStep records a selection fragment elided at plan time because
+// zone-map statistics prove its predicate never passes. Running it is a
+// no-op: the output buffers stay zeroed with all-false validity, which is
+// bit-identical to executing the fragment.
+type prunedStep struct {
+	name  string
+	stmts []int
+}
+
+func (s *prunedStep) run(rt *runtime) error { return nil }
+
+func (s *prunedStep) stepName() string { return "pruned " + s.name }
 
 // persistStep writes a converted value back to storage.
 type persistStep struct {
@@ -290,7 +309,7 @@ func (p *Plan) run(ctx context.Context, tr *trace.Trace, ro RunOpts) (_ *Result,
 	if err != nil {
 		return nil, nil, err
 	}
-	rt := &runtime{plan: p, ctx: ctx, env: env, arena: arena, morsel: ro.MorselSize}
+	rt := &runtime{plan: p, ctx: ctx, env: env, arena: arena, morsel: ro.MorselSize, spec: ro.Specialize}
 	res := &Result{Values: map[core.Ref]*vector.Vector{}, arena: arena}
 	if ro.CollectStats || tr != nil {
 		rt.stats = &res.Stats
@@ -347,6 +366,9 @@ func (p *Plan) traceStep(s step, frags []exec.FragStats, wall time.Duration) tra
 		ts.Kind, ts.Name = trace.KindBind, p.kern.Bufs[x.buf].Name
 	case *persistStep:
 		ts.Kind, ts.Name = trace.KindPersist, x.name
+	case *prunedStep:
+		ts.Kind, ts.Name = trace.KindPruned, x.name
+		ts.Stmts = x.stmts
 	case *fragStep:
 		ts.Kind, ts.Name = trace.KindFragment, x.f.Name
 		pv := x.f.Prov
@@ -360,6 +382,7 @@ func (p *Plan) traceStep(s step, frags []exec.FragStats, wall time.Duration) tra
 			ts.Workers = fs.Workers
 			ts.Morsels = int64(fs.Morsels)
 			ts.Imbalance = fs.Imbalance
+			ts.Specialized = fs.Specialized
 			ts.Items = fs.Items
 			ts.MaterializedBytes = fs.StoreBytes
 			ts.IntOps, ts.FloatOps = fs.IntOps, fs.FloatOps

@@ -1,0 +1,205 @@
+package compile
+
+import (
+	"math"
+
+	"voodoo/internal/kernel"
+	"voodoo/internal/vector"
+)
+
+// Zone-map pruning: storage column statistics (min/max per column) flow
+// into the compiler, which runs interval analysis over selection
+// predicates. A predicate whose value range is provably [0, 0] can never
+// pass its guard, so the selection fragment is elided at plan time and
+// replaced by a prunedStep: the output buffers stay declared (and arrive
+// zeroed with all-false validity, bit-identical to what the fragment
+// would have produced), but no work items ever run.
+//
+// Statistics describe the catalog the plan was compiled against; plan
+// caches must evict on catalog swaps (they already must — data sizes are
+// compile-time constants too).
+
+// StatsProvider is the optional interface a Storage may implement to
+// expose per-column value ranges to the compiler. vec is the LoadVector
+// name, col the column within it; the returned range is inclusive and
+// must cover every raw stored value (including in-band null sentinels).
+// ok must be false whenever the range is unknown or not exactly
+// representable in float64.
+type StatsProvider interface {
+	ColumnRange(vec, col string) (lo, hi float64, ok bool)
+}
+
+// valRange is an inclusive interval over the values an expression can
+// take. Bounds are float64 but exact for integer-valued expressions: the
+// analysis gives up past 2^52, so interval arithmetic never rounds (and
+// never needs to reason about int64 wraparound).
+type valRange struct{ lo, hi float64 }
+
+// rangeExact bounds the magnitude below which float64 holds every
+// integer exactly and int64 arithmetic on in-range operands cannot wrap.
+const rangeExact = 1 << 52
+
+func (r valRange) exact() bool {
+	return math.Abs(r.lo) < rangeExact && math.Abs(r.hi) < rangeExact
+}
+
+// recordRange remembers the value range of an input buffer when the
+// storage provides statistics for it.
+func (c *compiler) recordRange(buf int, vec, col string) {
+	sp, ok := c.st.(StatsProvider)
+	if !ok {
+		return
+	}
+	lo, hi, ok := sp.ColumnRange(vec, col)
+	if !ok || math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return
+	}
+	if c.ranges == nil {
+		c.ranges = map[int]valRange{}
+	}
+	c.ranges[buf] = valRange{lo, hi}
+}
+
+// pruneEmpty reports whether interval analysis proves pred is always
+// zero, i.e. the guarded selection can never pass.
+func (c *compiler) pruneEmpty(pred expr) bool {
+	r, ok := c.rangeOf(pred)
+	return ok && r.lo == 0 && r.hi == 0
+}
+
+// rangeOf computes a sound inclusive interval for e, or ok=false when no
+// finite bound is known. All arithmetic stays below the float64 exactness
+// limit, so integer intervals are exact; float intervals rely on the
+// monotonicity of IEEE rounding for soundness.
+func (c *compiler) rangeOf(e expr) (valRange, bool) {
+	switch x := e.(type) {
+	case *eConst:
+		v := x.f
+		if !x.isF {
+			if x.i >= rangeExact || x.i <= -rangeExact {
+				return valRange{}, false
+			}
+			v = float64(x.i)
+		}
+		if math.IsNaN(v) {
+			return valRange{}, false
+		}
+		return valRange{v, v}, true
+	case *eLoad:
+		r, ok := c.ranges[x.buf]
+		return r, ok
+	case *eLoadValid:
+		return valRange{0, 1}, true
+	case *eGen:
+		// A capped generator cycles through [0, Cap); uncapped metadata
+		// depends on the vector length, which this node does not carry.
+		if x.m.Cap > 0 && x.m.Cap <= rangeExact {
+			return valRange{0, float64(x.m.Cap - 1)}, true
+		}
+		return valRange{}, false
+	case *eBin:
+		return c.rangeOfBin(x)
+	case *eSel:
+		// A decided condition selects one branch; otherwise the value is
+		// the union of both. Float conditions stay undecided: NaN evades
+		// any interval yet is nonzero after the int cast.
+		if cr, ok := c.rangeOf(x.c); ok && x.c.kind() != vector.Float {
+			if cr.lo > 0 || cr.hi < 0 {
+				return c.rangeOf(x.a)
+			}
+			if cr.lo == 0 && cr.hi == 0 {
+				return c.rangeOf(x.b)
+			}
+		}
+		a, ok := c.rangeOf(x.a)
+		if !ok {
+			return valRange{}, false
+		}
+		b, ok := c.rangeOf(x.b)
+		if !ok {
+			return valRange{}, false
+		}
+		return valRange{min(a.lo, b.lo), max(a.hi, b.hi)}, true
+	case *eCast:
+		a, ok := c.rangeOf(x.a)
+		if !ok {
+			return valRange{}, false
+		}
+		if x.toF {
+			return a, true // int to float is exact below 2^52
+		}
+		// Float-to-int is unbounded on NaN operands, which column
+		// statistics cannot rule out — no claim.
+		return valRange{}, false
+	}
+	// eIdx, eGID, ePos, ePartRef, eOpaque: index-dependent or pipeline
+	// placeholders — no value bound.
+	return valRange{}, false
+}
+
+func (c *compiler) rangeOfBin(x *eBin) (valRange, bool) {
+	a, ok := c.rangeOf(x.a)
+	if !ok {
+		return valRange{}, false
+	}
+	b, ok := c.rangeOf(x.b)
+	if !ok {
+		return valRange{}, false
+	}
+	// Column statistics cannot rule out NaN in float columns, and every
+	// comparison on NaN yields 0 — so "provably 0" stays sound on float
+	// operands, but "provably 1" does not and is never claimed for them.
+	float := x.a.kind() == vector.Float || x.b.kind() == vector.Float
+	switch x.op {
+	case kernel.BAdd:
+		r := valRange{a.lo + b.lo, a.hi + b.hi}
+		return r, r.exact()
+	case kernel.BSub:
+		r := valRange{a.lo - b.hi, a.hi - b.lo}
+		return r, r.exact()
+	case kernel.BMul:
+		p1, p2, p3, p4 := a.lo*b.lo, a.lo*b.hi, a.hi*b.lo, a.hi*b.hi
+		r := valRange{min(p1, p2, p3, p4), max(p1, p2, p3, p4)}
+		return r, r.exact()
+	case kernel.BMin:
+		return valRange{min(a.lo, b.lo), min(a.hi, b.hi)}, true
+	case kernel.BMax:
+		return valRange{max(a.lo, b.lo), max(a.hi, b.hi)}, true
+	case kernel.BGt:
+		if a.lo > b.hi && !float {
+			return valRange{1, 1}, true
+		}
+		if a.hi <= b.lo {
+			return valRange{0, 0}, true
+		}
+		return valRange{0, 1}, true
+	case kernel.BGe:
+		if a.lo >= b.hi && !float {
+			return valRange{1, 1}, true
+		}
+		if a.hi < b.lo {
+			return valRange{0, 0}, true
+		}
+		return valRange{0, 1}, true
+	case kernel.BEq:
+		if a.hi < b.lo || b.hi < a.lo {
+			return valRange{0, 0}, true
+		}
+		if a.lo == a.hi && b.lo == b.hi && a.lo == b.lo && !float {
+			return valRange{1, 1}, true
+		}
+		return valRange{0, 1}, true
+	case kernel.BAnd, kernel.BOr:
+		// Only meaningful as logical combinators over 0/1 predicates;
+		// arbitrary bitwise operands stay unknown.
+		if a.lo < 0 || a.hi > 1 || b.lo < 0 || b.hi > 1 {
+			return valRange{}, false
+		}
+		if x.op == kernel.BAnd {
+			return valRange{min(a.lo, b.lo) * min(a.hi, b.hi), min(a.hi, b.hi)}, true
+		}
+		return valRange{max(a.lo, b.lo), max(a.hi, b.hi)}, true
+	}
+	// Division, modulo, shifts: trapping or wrap-prone — unknown.
+	return valRange{}, false
+}

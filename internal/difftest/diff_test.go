@@ -7,6 +7,7 @@ import (
 
 	"voodoo/internal/compile"
 	"voodoo/internal/core"
+	"voodoo/internal/exec"
 	"voodoo/internal/interp"
 	"voodoo/internal/vector"
 )
@@ -25,12 +26,18 @@ var diffPool = vector.NewPool(0)
 // combos, or buffer reuse is leaking state between queries. The
 // morsel-sweep combo runs with 4 workers across pathological morsel
 // sizes — results must stay bit-identical at every scheduling
-// granularity, or morsel claim order is leaking into results.
+// granularity, or morsel claim order is leaking into results. The
+// specialize-sweep combo crosses specialization modes {off, batch-only,
+// full} with pathological morsel sizes — the interpreter is the
+// specialization layer's oracle, so results must stay bit-identical on
+// every (path, granularity) pair, or a batch primitive or fused fast
+// path diverged from per-element semantics.
 var configs = []struct {
 	name    string
 	opt     compile.Options
 	pooled  bool
-	morsels []int // when set, the plan runs once per morsel size
+	morsels []int           // when set, the plan runs once per morsel size
+	specs   []exec.SpecMode // when set, crossed with morsels (default: Auto)
 }{
 	{name: "compiled", opt: compile.Options{}},
 	{name: "predicated", opt: compile.Options{Predication: true}},
@@ -38,13 +45,15 @@ var configs = []struct {
 	{name: "bulk-predicated", opt: compile.Options{ForceBulk: true, Predication: true}},
 	{name: "pooled", opt: compile.Options{}, pooled: true},
 	{name: "morsel-sweep", opt: compile.Options{Workers: 4}, morsels: []int{1, 7, 1024, 0}},
+	{name: "specialize-sweep", opt: compile.Options{Workers: 4}, morsels: []int{1, 7, 0},
+		specs: []exec.SpecMode{exec.SpecializeOff, exec.SpecializeBatchOnly, exec.SpecializeAuto}},
 }
 
 // runPlan executes a compiled plan under the config's memory regime and
 // morsel size; the returned release func recycles pooled buffers and must
 // be called after the result has been compared (never before).
-func runPlan(ctx context.Context, plan *compile.Plan, pooled bool, morsel int) (*compile.Result, func(), error) {
-	ro := compile.RunOpts{MorselSize: morsel}
+func runPlan(ctx context.Context, plan *compile.Plan, pooled bool, morsel int, spec exec.SpecMode) (*compile.Result, func(), error) {
+	ro := compile.RunOpts{MorselSize: morsel, Specialize: spec}
 	if pooled {
 		ro.Pool = diffPool
 	}
@@ -96,11 +105,15 @@ func TestInterpVsCompiled(t *testing.T) {
 			if len(morsels) == 0 {
 				morsels = []int{0}
 			}
+			specs := cfg.specs
+			if len(specs) == 0 {
+				specs = []exec.SpecMode{exec.SpecializeAuto}
+			}
 			if ierr != nil {
 				if cerr != nil {
 					continue
 				}
-				if _, release, rerr := runPlan(ctx, plan, cfg.pooled, morsels[0]); rerr == nil {
+				if _, release, rerr := runPlan(ctx, plan, cfg.pooled, morsels[0], specs[0]); rerr == nil {
 					release()
 					t.Errorf("seed %d %s: interpreter rejects the program (%v) but the compiled plan runs:\n%s",
 						seed, cfg.name, ierr, p.Prog)
@@ -114,28 +127,30 @@ func TestInterpVsCompiled(t *testing.T) {
 				continue
 			}
 			for _, morsel := range morsels {
-				cres, release, rerr := runPlan(ctx, plan, cfg.pooled, morsel)
-				if rerr != nil {
-					t.Errorf("seed %d %s (morsel=%d): run failed: %v\nprogram:\n%s", seed, cfg.name, morsel, rerr, p.Prog)
-					reported++
-					continue
-				}
-				for _, ref := range roots {
-					iv, cv := ires.Value(ref), cres.Values[ref]
-					if cv == nil {
-						t.Errorf("seed %d %s (morsel=%d): root v%d missing from compiled result\nprogram:\n%s",
-							seed, cfg.name, morsel, ref, p.Prog)
+				for _, spec := range specs {
+					cres, release, rerr := runPlan(ctx, plan, cfg.pooled, morsel, spec)
+					if rerr != nil {
+						t.Errorf("seed %d %s (morsel=%d spec=%d): run failed: %v\nprogram:\n%s", seed, cfg.name, morsel, spec, rerr, p.Prog)
 						reported++
-						break
+						continue
 					}
-					if !iv.Equal(cv) {
-						t.Errorf("seed %d %s (morsel=%d): root v%d diverges\nprogram:\n%s\ninterp:\n%s\ncompiled:\n%s",
-							seed, cfg.name, morsel, ref, p.Prog, iv, cv)
-						reported++
-						break
+					for _, ref := range roots {
+						iv, cv := ires.Value(ref), cres.Values[ref]
+						if cv == nil {
+							t.Errorf("seed %d %s (morsel=%d spec=%d): root v%d missing from compiled result\nprogram:\n%s",
+								seed, cfg.name, morsel, spec, ref, p.Prog)
+							reported++
+							break
+						}
+						if !iv.Equal(cv) {
+							t.Errorf("seed %d %s (morsel=%d spec=%d): root v%d diverges\nprogram:\n%s\ninterp:\n%s\ncompiled:\n%s",
+								seed, cfg.name, morsel, spec, ref, p.Prog, iv, cv)
+							reported++
+							break
+						}
 					}
+					release()
 				}
-				release()
 			}
 		}
 	}

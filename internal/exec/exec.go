@@ -317,6 +317,11 @@ type FragStats struct {
 	Morsels   int
 	Imbalance float64
 
+	// Specialized records the execution path this run took ("fused",
+	// "batch" or "interp"); set by RunFragmentPar, not merged from
+	// workers.
+	Specialized string
+
 	Items int64 // loop iterations executed
 	// StoreBytes counts bytes written to global buffers — the
 	// materialization at this fragment's seam (8 per scalar store plus a
@@ -484,8 +489,12 @@ func RunFragmentPar(ctx context.Context, f *kernel.Fragment, env *Env, par Par, 
 	}
 	par = par.norm()
 	nregs := maxReg(f) + 1
+	spec, path := resolveSpec(f, par.Spec, fs != nil, faultinject.Enabled())
+	if fs != nil {
+		fs.Specialized = path
+	}
 	if f.Sequential() || par.Workers == 1 {
-		w := newWorker(ctx, f, env, nregs, fs != nil, nil)
+		w := newWorker(ctx, f, env, nregs, fs != nil, nil, spec)
 		if err := protect(f.Name, func() error { return w.run(0, max(f.Extent, 1)) }); err != nil {
 			w.release()
 			return err
@@ -506,7 +515,7 @@ func RunFragmentPar(ctx context.Context, f *kernel.Fragment, env *Env, par Par, 
 	if f.Extent <= par.Morsel {
 		// A single morsel: the pool could not help, so run it inline and
 		// skip the publish/withdraw round trip.
-		w := newWorker(ctx, f, env, nregs, fs != nil, nil)
+		w := newWorker(ctx, f, env, nregs, fs != nil, nil, spec)
 		err := protect(f.Name, func() error { return w.run(0, f.Extent) })
 		if err == nil && fs != nil {
 			fs.Workers, fs.Morsels, fs.Imbalance = 1, 1, 1
@@ -515,7 +524,7 @@ func RunFragmentPar(ctx context.Context, f *kernel.Fragment, env *Env, par Par, 
 		w.release()
 		return err
 	}
-	return runMorselParallel(ctx, f, env, par, nregs, fs)
+	return runMorselParallel(ctx, f, env, par, nregs, spec, fs)
 }
 
 func maxReg(f *kernel.Fragment) kernel.Reg {
@@ -555,6 +564,11 @@ type worker struct {
 	scratch *scratch
 	count   bool
 	stats   FragStats
+	// batch/fused select the specialized execution path for this run (both
+	// nil = interpret); bst is the batch register-column state.
+	batch *batchProg
+	fused fusedRunner
+	bst   bstate
 	// checks gates the checkpoint machinery: false means the fast path
 	// pays a single predictable branch per item and nothing else.
 	checks bool
@@ -613,6 +627,28 @@ type scratch struct {
 	rf   []float64
 	locI []int64
 	locF []float64
+	// Batch-primitive state: register-column slabs, the selection mask and
+	// the per-register column tables. Slabs are not zeroed on reuse — the
+	// batch compiler proves def-before-use (see specialize.go).
+	bcols  []int64
+	bfcols []float64
+	bsel   []int32
+	bri    [][]int64
+	brf    [][]float64
+}
+
+// grow returns a slice of exactly n elements backed by *buf, reusing its
+// capacity without clearing (unlike intSlice/floatSlice, whose make()
+// semantics the register file needs but batch columns do not).
+func grow[T int64 | float64](buf *[]T, n int) []T {
+	v := *buf
+	if cap(v) < n {
+		v = make([]T, n)
+	} else {
+		v = v[:n]
+	}
+	*buf = v
+	return v
 }
 
 func (s *scratch) intSlice(which *[]int64, n int) []int64 {
@@ -650,11 +686,11 @@ func (w *worker) release() {
 	w.ri, w.rf, w.locI, w.locF = nil, nil, nil, nil
 }
 
-func newWorker(ctx context.Context, f *kernel.Fragment, env *Env, nregs kernel.Reg, count bool, stop *atomic.Bool) *worker {
+func newWorker(ctx context.Context, f *kernel.Fragment, env *Env, nregs kernel.Reg, count bool, stop *atomic.Bool, spec specAssign) *worker {
 	sc := scratchPool.Get().(*scratch)
 	w := &worker{f: f, env: env, scratch: sc,
 		ri: sc.intSlice(&sc.ri, int(nregs)), rf: sc.floatSlice(&sc.rf, int(nregs)), count: count,
-		stop: stop}
+		stop: stop, batch: spec.batch, fused: spec.fused}
 	if ctx.Done() != nil {
 		w.ctx = ctx
 	}
@@ -668,6 +704,9 @@ func newWorker(ctx context.Context, f *kernel.Fragment, env *Env, nregs kernel.R
 		} else {
 			w.locI = sc.intSlice(&sc.locI, f.Locals)
 		}
+	}
+	if w.batch != nil {
+		w.attachBatch(w.batch)
 	}
 	return w
 }
@@ -701,7 +740,23 @@ func (w *worker) resetLocals() {
 	}
 }
 
+// run executes work items [lo, hi) through the path resolved for this
+// fragment run: a fused closure, batch primitives, or the per-element
+// interpreter.
 func (w *worker) run(lo, hi int) error {
+	if w.fused != nil {
+		return w.fused(w, lo, hi)
+	}
+	if w.batch != nil {
+		return w.runBatch(lo, hi)
+	}
+	return w.runInterp(lo, hi)
+}
+
+// runInterp is the per-element instruction interpreter — the fallback for
+// exotic fragment shapes and the oracle the specialized paths are
+// differentially tested against.
+func (w *worker) runInterp(lo, hi int) error {
 	f := w.f
 	for gid := lo; gid < hi; gid++ {
 		if w.checks {

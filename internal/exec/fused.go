@@ -1,0 +1,574 @@
+// Fused fast paths: single hand-fused closures for the hottest fragment
+// shapes (see specialize.go for the layer overview). Each matcher is
+// deliberately conservative — anything that does not match exactly falls
+// back to batch primitives or the interpreter — and each runner pre-flights
+// its buffer bounds once, delegating to the interpreter when a bound could
+// fail mid-run so error reporting stays identical.
+package exec
+
+import (
+	"voodoo/internal/kernel"
+)
+
+// matchFused tries the fused shape matchers in specificity order and
+// returns the runner plus whether its event counts are exact (countable).
+func matchFused(f *kernel.Fragment) (fusedRunner, bool) {
+	if fr, countable := matchFusedFold(f); fr != nil {
+		return fr, countable
+	}
+	if fr := matchFusedSelect(f); fr != nil {
+		return fr, true
+	}
+	if fr := matchFusedMap(f); fr != nil {
+		return fr, true
+	}
+	return nil, false
+}
+
+// flatLane reports whether the fragment is a flat one-iteration-per-item
+// loop with idx == gid: no prologue, epilogue or scratch, a single loop
+// running exactly once per work item.
+func flatLane(f *kernel.Fragment) bool {
+	if f.Locals != 0 || len(f.Pre) != 0 || len(f.Post) != 0 || len(f.PostLoopBody) != 0 {
+		return false
+	}
+	if len(f.Loops) != 1 {
+		return false
+	}
+	l := f.Loops[0]
+	if l.BoundReg > 0 {
+		return false
+	}
+	bound := l.Bound
+	if bound <= 0 {
+		bound = f.Intent
+	}
+	if bound != 1 {
+		return false
+	}
+	return f.Intent == 1 || f.Strided
+}
+
+// splitConsts separates a leading run of constant loads from the rest of
+// the body, returning their values per register. Constants interleaved
+// with the core sequence defeat the match (nil core) so a mid-sequence
+// redefinition can never change meaning.
+func splitConsts(body []kernel.Instr) (ci map[kernel.Reg]int64, cf map[kernel.Reg]float64, core []kernel.Instr) {
+	ci = map[kernel.Reg]int64{}
+	cf = map[kernel.Reg]float64{}
+	i := 0
+	for ; i < len(body); i++ {
+		if body[i].Op == kernel.IConstI {
+			ci[body[i].Dst] = body[i].Imm
+		} else if body[i].Op == kernel.IConstF {
+			cf[body[i].Dst] = body[i].FImm
+		} else {
+			break
+		}
+	}
+	for _, in := range body[i:] {
+		if in.Op == kernel.IConstI || in.Op == kernel.IConstF {
+			return nil, nil, nil
+		}
+	}
+	return ci, cf, body[i:]
+}
+
+// matchFusedSelect recognizes the canonical branching selection —
+// load → compare-against-constant → guard → store — over the integer
+// domain with sequential accesses.
+func matchFusedSelect(f *kernel.Fragment) fusedRunner {
+	if !flatLane(f) {
+		return nil
+	}
+	ci, _, core := splitConsts(f.Loops[0].Body)
+	if len(core) != 4 {
+		return nil
+	}
+	ld, cmp, grd, st := core[0], core[1], core[2], core[3]
+	if ld.Op != kernel.ILoad || ld.Float || !ld.Seq || ld.A != kernel.RegIdx {
+		return nil
+	}
+	v := ld.Dst
+	if cmp.Op != kernel.IBin || cmp.Float || cmp.A != v {
+		return nil
+	}
+	k, isConst := ci[cmp.B]
+	if !isConst {
+		return nil
+	}
+	switch cmp.BOp {
+	case kernel.BGt, kernel.BGe, kernel.BEq:
+	default:
+		return nil
+	}
+	if grd.Op != kernel.IGuard || grd.A != cmp.Dst {
+		return nil
+	}
+	if st.Op != kernel.IStore || st.Float || !st.Seq || st.A != kernel.RegIdx || st.C > 0 {
+		return nil
+	}
+	storeV := st.B == v
+	storeK, isStoreConst := ci[st.B]
+	if !storeV && !isStoreConst {
+		return nil
+	}
+	inBuf, outBuf, op := ld.Buf, st.Buf, cmp.BOp
+	return func(w *worker, lo, hi int) error {
+		f := w.f
+		if f.N > 0 && hi > f.N {
+			hi = f.N
+		}
+		in, out := w.env.Bufs[inBuf], w.env.Bufs[outBuf]
+		if hi > in.Len() || hi > out.Len() {
+			// A bound would fail mid-run; the interpreter reports it with
+			// the exact index and side-effect order.
+			return w.runInterp(lo, hi)
+		}
+		ov := out.Valid
+		for base := lo; base < hi; base += specBatchN {
+			n := min(specBatchN, hi-base)
+			if w.checks {
+				if err := w.tickN(n); err != nil {
+					return err
+				}
+			}
+			seg := in.I[base : base+n]
+			var pass int64
+			switch op {
+			case kernel.BGt:
+				for i, v := range seg {
+					if v > k {
+						sv := v
+						if !storeV {
+							sv = storeK
+						}
+						out.I[base+i] = sv
+						if ov != nil {
+							ov[base+i] = true
+						}
+						pass++
+					}
+				}
+			case kernel.BGe:
+				for i, v := range seg {
+					if v >= k {
+						sv := v
+						if !storeV {
+							sv = storeK
+						}
+						out.I[base+i] = sv
+						if ov != nil {
+							ov[base+i] = true
+						}
+						pass++
+					}
+				}
+			case kernel.BEq:
+				for i, v := range seg {
+					if v == k {
+						sv := v
+						if !storeV {
+							sv = storeK
+						}
+						out.I[base+i] = sv
+						if ov != nil {
+							ov[base+i] = true
+						}
+						pass++
+					}
+				}
+			}
+			if w.count {
+				nn := int64(n)
+				w.stats.Items += nn
+				w.stats.IntOps += nn
+				w.stats.Guards += nn
+				w.stats.GuardsPass += pass
+				w.stats.SeqBytes += 8*nn + 8*pass
+				w.stats.StoreBytes += 8 * pass
+				if ov != nil {
+					w.stats.StoreBytes += pass
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// matchFusedMap recognizes the canonical map — load → one binary op with a
+// constant → store — in either domain with sequential accesses.
+func matchFusedMap(f *kernel.Fragment) fusedRunner {
+	if !flatLane(f) {
+		return nil
+	}
+	ci, cf, core := splitConsts(f.Loops[0].Body)
+	if len(core) != 3 {
+		return nil
+	}
+	ld, bin, st := core[0], core[1], core[2]
+	if ld.Op != kernel.ILoad || !ld.Seq || ld.A != kernel.RegIdx {
+		return nil
+	}
+	if bin.Op != kernel.IBin || bin.Float != ld.Float || bin.A != ld.Dst {
+		return nil
+	}
+	if st.Op != kernel.IStore || st.Float != ld.Float || !st.Seq ||
+		st.A != kernel.RegIdx || st.B != bin.Dst || st.C > 0 {
+		return nil
+	}
+	switch bin.BOp {
+	case kernel.BAdd, kernel.BSub, kernel.BMul, kernel.BMin, kernel.BMax,
+		kernel.BGt, kernel.BGe, kernel.BEq:
+	default:
+		return nil // trapping or rare operators take the batch path
+	}
+	inBuf, outBuf, op := ld.Buf, st.Buf, bin.BOp
+	if ld.Float {
+		k, isConst := cf[bin.B]
+		if !isConst {
+			return nil
+		}
+		return func(w *worker, lo, hi int) error {
+			f := w.f
+			if f.N > 0 && hi > f.N {
+				hi = f.N
+			}
+			in, out := w.env.Bufs[inBuf], w.env.Bufs[outBuf]
+			if hi > in.Len() || hi > out.Len() {
+				return w.runInterp(lo, hi)
+			}
+			for base := lo; base < hi; base += specBatchN {
+				n := min(specBatchN, hi-base)
+				if w.checks {
+					if err := w.tickN(n); err != nil {
+						return err
+					}
+				}
+				seg := in.F[base : base+n]
+				dst := out.F[base : base+n]
+				switch op {
+				case kernel.BAdd:
+					for i, v := range seg {
+						dst[i] = v + k
+					}
+				case kernel.BSub:
+					for i, v := range seg {
+						dst[i] = v - k
+					}
+				case kernel.BMul:
+					for i, v := range seg {
+						dst[i] = v * k
+					}
+				case kernel.BMin:
+					for i, v := range seg {
+						dst[i] = min(v, k)
+					}
+				case kernel.BMax:
+					for i, v := range seg {
+						dst[i] = max(v, k)
+					}
+				case kernel.BGt:
+					for i, v := range seg {
+						dst[i] = float64(b2i(v > k))
+					}
+				case kernel.BGe:
+					for i, v := range seg {
+						dst[i] = float64(b2i(v >= k))
+					}
+				case kernel.BEq:
+					for i, v := range seg {
+						dst[i] = float64(b2i(v == k))
+					}
+				}
+				fusedMapFinish(w, out, base, n, true)
+			}
+			return nil
+		}
+	}
+	k, isConst := ci[bin.B]
+	if !isConst {
+		return nil
+	}
+	return func(w *worker, lo, hi int) error {
+		f := w.f
+		if f.N > 0 && hi > f.N {
+			hi = f.N
+		}
+		in, out := w.env.Bufs[inBuf], w.env.Bufs[outBuf]
+		if hi > in.Len() || hi > out.Len() {
+			return w.runInterp(lo, hi)
+		}
+		for base := lo; base < hi; base += specBatchN {
+			n := min(specBatchN, hi-base)
+			if w.checks {
+				if err := w.tickN(n); err != nil {
+					return err
+				}
+			}
+			seg := in.I[base : base+n]
+			dst := out.I[base : base+n]
+			switch op {
+			case kernel.BAdd:
+				for i, v := range seg {
+					dst[i] = v + k
+				}
+			case kernel.BSub:
+				for i, v := range seg {
+					dst[i] = v - k
+				}
+			case kernel.BMul:
+				for i, v := range seg {
+					dst[i] = v * k
+				}
+			case kernel.BMin:
+				for i, v := range seg {
+					dst[i] = min(v, k)
+				}
+			case kernel.BMax:
+				for i, v := range seg {
+					dst[i] = max(v, k)
+				}
+			case kernel.BGt:
+				for i, v := range seg {
+					dst[i] = b2i(v > k)
+				}
+			case kernel.BGe:
+				for i, v := range seg {
+					dst[i] = b2i(v >= k)
+				}
+			case kernel.BEq:
+				for i, v := range seg {
+					dst[i] = b2i(v == k)
+				}
+			}
+			fusedMapFinish(w, out, base, n, false)
+		}
+		return nil
+	}
+}
+
+// fusedMapFinish marks the stored range valid and counts one map chunk:
+// one ALU op, one sequential load and one sequential store per element.
+func fusedMapFinish(w *worker, out *Buffer, base, n int, float bool) {
+	if out.Valid != nil {
+		ov := out.Valid[base : base+n]
+		for i := range ov {
+			ov[i] = true
+		}
+	}
+	if !w.count {
+		return
+	}
+	nn := int64(n)
+	w.stats.Items += nn
+	if float {
+		w.stats.FloatOps += nn
+	} else {
+		w.stats.IntOps += nn
+	}
+	w.stats.SeqBytes += 16 * nn
+	w.stats.StoreBytes += 8 * nn
+	if out.Valid != nil {
+		w.stats.StoreBytes += nn
+	}
+}
+
+// matchFusedFold recognizes the FoldSum/FoldMin/FoldMax accumulate loop:
+// Pre seeds an accumulator with a constant, the single intent-bounded loop
+// loads in[idx] and combines it into the accumulator, Post stores the
+// accumulator at gid. Covers global folds (Extent 1) and grouped/windowed
+// folds (Extent = runs), blocked or strided.
+func matchFusedFold(f *kernel.Fragment) (fusedRunner, bool) {
+	if f.Locals != 0 || len(f.PostLoopBody) != 0 || len(f.Loops) != 1 || f.Intent <= 1 {
+		return nil, false
+	}
+	l := f.Loops[0]
+	if l.Bound > 0 || l.BoundReg > 0 {
+		return nil, false
+	}
+	if len(f.Pre) != 1 || len(l.Body) != 2 || len(f.Post) != 1 {
+		return nil, false
+	}
+	pre, ld, bin, st := f.Pre[0], l.Body[0], l.Body[1], f.Post[0]
+	float := pre.Op == kernel.IConstF
+	if !float && pre.Op != kernel.IConstI {
+		return nil, false
+	}
+	acc := pre.Dst
+	if ld.Op != kernel.ILoad || ld.Float != float || ld.A != kernel.RegIdx {
+		return nil, false
+	}
+	if bin.Op != kernel.IBin || bin.Float != float || bin.Dst != acc || bin.A != acc || bin.B != ld.Dst {
+		return nil, false
+	}
+	switch bin.BOp {
+	case kernel.BAdd, kernel.BMin, kernel.BMax:
+	default:
+		return nil, false
+	}
+	if st.Op != kernel.IStore || st.Float != float || st.A != kernel.RegGID || st.B != acc || st.C > 0 {
+		return nil, false
+	}
+	countable := ld.Seq && st.Seq
+	inBuf, outBuf, op := ld.Buf, st.Buf, bin.BOp
+	initI, initF := pre.Imm, pre.FImm
+	runner := func(w *worker, lo, hi int) error {
+		f := w.f
+		in, out := w.env.Bufs[inBuf], w.env.Bufs[outBuf]
+		// effN bounds the global element index exactly as the loop's N
+		// guard would; if any touched index could still escape the input
+		// (or any gid the output), the interpreter handles the range.
+		effN := f.Extent * f.Intent
+		if f.N > 0 && f.N < effN {
+			effN = f.N
+		}
+		if effN > in.Len() || hi > out.Len() {
+			return w.runInterp(lo, hi)
+		}
+		seqLd, seqSt := ld.Seq, st.Seq
+		for gid := lo; gid < hi; gid++ {
+			var it int
+			if f.Strided {
+				if gid < effN {
+					it = (effN-1-gid)/f.Extent + 1
+				}
+			} else {
+				start := gid * f.Intent
+				it = min(max(effN-start, 0), f.Intent)
+			}
+			if w.checks {
+				// One tick for the work item itself, like the interpreter's
+				// outer loop.
+				if err := w.tickN(1); err != nil {
+					return err
+				}
+			}
+			accI, accF := initI, initF
+			if f.Strided {
+				ix := gid
+				done := 0
+				for done < it {
+					m := min(specBatchN, it-done)
+					if w.checks {
+						if err := w.tickN(m); err != nil {
+							return err
+						}
+					}
+					if float {
+						switch op {
+						case kernel.BAdd:
+							for c := 0; c < m; c++ {
+								accF += in.F[ix]
+								ix += f.Extent
+							}
+						case kernel.BMin:
+							for c := 0; c < m; c++ {
+								accF = min(accF, in.F[ix])
+								ix += f.Extent
+							}
+						case kernel.BMax:
+							for c := 0; c < m; c++ {
+								accF = max(accF, in.F[ix])
+								ix += f.Extent
+							}
+						}
+					} else {
+						switch op {
+						case kernel.BAdd:
+							for c := 0; c < m; c++ {
+								accI += in.I[ix]
+								ix += f.Extent
+							}
+						case kernel.BMin:
+							for c := 0; c < m; c++ {
+								accI = min(accI, in.I[ix])
+								ix += f.Extent
+							}
+						case kernel.BMax:
+							for c := 0; c < m; c++ {
+								accI = max(accI, in.I[ix])
+								ix += f.Extent
+							}
+						}
+					}
+					done += m
+				}
+			} else {
+				start := gid * f.Intent
+				done := 0
+				for done < it {
+					m := min(specBatchN, it-done)
+					if w.checks {
+						if err := w.tickN(m); err != nil {
+							return err
+						}
+					}
+					if float {
+						seg := in.F[start+done : start+done+m]
+						switch op {
+						case kernel.BAdd:
+							for _, v := range seg {
+								accF += v
+							}
+						case kernel.BMin:
+							for _, v := range seg {
+								accF = min(accF, v)
+							}
+						case kernel.BMax:
+							for _, v := range seg {
+								accF = max(accF, v)
+							}
+						}
+					} else {
+						seg := in.I[start+done : start+done+m]
+						switch op {
+						case kernel.BAdd:
+							for _, v := range seg {
+								accI += v
+							}
+						case kernel.BMin:
+							for _, v := range seg {
+								accI = min(accI, v)
+							}
+						case kernel.BMax:
+							for _, v := range seg {
+								accI = max(accI, v)
+							}
+						}
+					}
+					done += m
+				}
+			}
+			if float {
+				out.F[gid] = accF
+			} else {
+				out.I[gid] = accI
+			}
+			if out.Valid != nil {
+				out.Valid[gid] = true
+			}
+			if w.count {
+				itn := int64(it)
+				w.stats.Items += itn
+				if float {
+					w.stats.FloatOps += itn
+				} else {
+					w.stats.IntOps += itn
+				}
+				if seqLd {
+					w.stats.SeqBytes += 8 * itn
+				}
+				w.stats.StoreBytes += 8
+				if out.Valid != nil {
+					w.stats.StoreBytes++
+				}
+				if seqSt {
+					w.stats.SeqBytes += 8
+				}
+			}
+		}
+		return nil
+	}
+	return runner, countable
+}

@@ -35,6 +35,7 @@ package exec
 
 import (
 	"context"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,10 @@ type Par struct {
 	// trades scheduling overhead (small morsels) against skew absorption
 	// (large morsels).
 	Morsel int
+	// Spec selects how much fragment specialization applies (see
+	// SpecMode). Results are bit-identical across every mode; SpecializeOff
+	// is the -no-specialize escape hatch and the differential-test oracle.
+	Spec SpecMode
 }
 
 // norm resolves the zero values.
@@ -73,6 +78,9 @@ func (p Par) norm() Par {
 	}
 	if p.Morsel <= 0 {
 		p.Morsel = DefaultMorsel
+	}
+	if p.Spec == SpecializeAuto && specDefaultOff.Load() {
+		p.Spec = SpecializeOff
 	}
 	return p
 }
@@ -171,6 +179,9 @@ type job struct {
 	count  bool
 	ctx    context.Context
 	morsel int
+	// spec is the fragment's resolved execution path; every participant
+	// (submitter and helpers) runs the same code.
+	spec specAssign
 	// nMorsels is the ticket space; next is the claim counter.
 	nMorsels int64
 	next     atomic.Int64
@@ -311,8 +322,12 @@ func (s *scheduler) workerLoop() {
 				j.helpers++
 				j.wg.Add(1)
 				s.mu.Unlock()
-				w := newWorker(j.ctx, j.f, j.env, j.nregs, j.count, &j.stop)
-				j.runMorsels(w, true)
+				w := newWorker(j.ctx, j.f, j.env, j.nregs, j.count, &j.stop, j.spec)
+				// CPU profiles served from /debug/pprof attribute helper
+				// samples to the fragment being executed.
+				pprof.Do(j.ctx, pprof.Labels("fragment", j.f.Name), func(context.Context) {
+					j.runMorsels(w, true)
+				})
 				j.wg.Done()
 				s.mu.Lock()
 				continue
@@ -335,11 +350,11 @@ func (s *scheduler) workerLoop() {
 // never depends on pool availability) while up to par.Workers-1 pool
 // workers join it. Caller guarantees par is normalized, par.Workers > 1
 // and the fragment spans more than one morsel.
-func runMorselParallel(ctx context.Context, f *kernel.Fragment, env *Env, par Par, nregs kernel.Reg, fs *FragStats) error {
+func runMorselParallel(ctx context.Context, f *kernel.Fragment, env *Env, par Par, nregs kernel.Reg, spec specAssign, fs *FragStats) error {
 	nMorsels := int64((f.Extent + par.Morsel - 1) / par.Morsel)
 	j := &job{
 		f: f, env: env, nregs: nregs, count: fs != nil, ctx: ctx,
-		morsel: par.Morsel, nMorsels: nMorsels,
+		morsel: par.Morsel, nMorsels: nMorsels, spec: spec,
 	}
 	// The submitter occupies one worker slot; helpers beyond the morsel
 	// count could never claim anything.
@@ -348,8 +363,12 @@ func runMorselParallel(ctx context.Context, f *kernel.Fragment, env *Env, par Pa
 		sched.publish(j)
 	}
 
-	w := newWorker(ctx, f, env, nregs, fs != nil, &j.stop)
-	j.runMorsels(w, false)
+	w := newWorker(ctx, f, env, nregs, fs != nil, &j.stop, spec)
+	// Label the submitter's share too, so profiles attribute parallel
+	// fragment execution per fragment regardless of who claims the morsel.
+	pprof.Do(ctx, pprof.Labels("fragment", f.Name), func(context.Context) {
+		j.runMorsels(w, false)
+	})
 
 	if j.maxHelpers > 0 {
 		sched.withdraw(j)

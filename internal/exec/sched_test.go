@@ -28,7 +28,7 @@ func staticChunkRun(t *testing.T, f *kernel.Fragment, env *Env, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			w := newWorker(context.Background(), f, env, nregs, false, &stop)
+			w := newWorker(context.Background(), f, env, nregs, false, &stop, specAssign{})
 			if err := protect(f.Name, func() error { return w.run(lo, hi) }); err != nil {
 				t.Error(err)
 			}

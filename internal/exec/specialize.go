@@ -1,0 +1,996 @@
+// Fragment specialization: compiled batch primitives and fused fast paths.
+//
+// The interpreter in exec.go dispatches through a switch statement once per
+// instruction per element — O(items × instrs) dispatches. The paper's whole
+// point is that fragments are fused, function-call-free kernels, so this
+// file compiles each fragment once (cached on the *kernel.Fragment,
+// concurrency-safe) into one of two faster forms:
+//
+//   - batch primitives: one tight Go loop per instruction over a
+//     morsel-sized batch of register columns. Dispatch cost drops to
+//     O(batches × instrs); the loops are bounds-check-friendly and
+//     auto-vectorizable. IGuard is handled by compacting a selection mask,
+//     so predication never branches on data inside a primitive.
+//   - fused fast paths: single hand-fused closures for the hottest shapes
+//     mined from TPC-H traces — load→compare→guard→store selection,
+//     load→arith→store maps, and the FoldSum/FoldMin/FoldMax accumulate
+//     loops.
+//
+// The per-element interpreter remains as the fallback for exotic sequences
+// and as the oracle for differential testing (difftest combo #7 sweeps all
+// modes against it).
+//
+// Contracts preserved exactly: cancellation checkpoints each ~1024 items
+// (tickN retires a batch's budget at once), governor Limits, panics →
+// *PanicError with cross-worker abort, arena ownership, and bit-identical
+// results at any morsel size and worker count (def-before-use analysis
+// rejects fragments whose registers carry values across work items, and
+// a single-store-per-buffer rule rejects load/store interleaving hazards).
+//
+// Measurement fidelity: the interpreter's Near/Rand access classification
+// is execution-order-sensitive (an 8-line LRU per buffer), and batch
+// execution visits memory instruction-major instead of element-major. A
+// specialized path is therefore only used for a *counted* run when every
+// memory access it compiles is sequential, where the counts are
+// order-independent; otherwise counted runs fall back to the interpreter
+// so simulated device times never drift. Fault-injection hooks replay
+// per-item state the compiled paths do not model, so any enabled hook also
+// forces the interpreter.
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"voodoo/internal/kernel"
+	"voodoo/internal/metrics"
+)
+
+// SpecMode selects how much fragment specialization the executor applies.
+type SpecMode uint8
+
+const (
+	// SpecializeAuto (the zero value) uses fused fast paths where a shape
+	// matches, batch primitives where eligible, and the interpreter
+	// otherwise.
+	SpecializeAuto SpecMode = iota
+	// SpecializeOff always interprets — the -no-specialize escape hatch
+	// and the differential-test oracle.
+	SpecializeOff
+	// SpecializeBatchOnly uses batch primitives but never fused closures;
+	// difftest uses it to exercise the batch compiler on hot shapes that
+	// would otherwise take the fused path.
+	SpecializeBatchOnly
+)
+
+// specDefaultOff, when set, resolves SpecializeAuto to SpecializeOff
+// process-wide. It backs the -no-specialize flag of binaries that call
+// the executor through APIs without a per-run mode (voodoo-bench).
+var specDefaultOff atomic.Bool
+
+// SetSpecializeDefault turns fragment specialization on (the default) or
+// off process-wide for runs that leave Par.Spec at SpecializeAuto.
+// Explicit per-run modes are unaffected.
+func SetSpecializeDefault(on bool) { specDefaultOff.Store(!on) }
+
+// Specialization observability: every fragment execution counts the path
+// it actually took. All three series are pre-created so they exist at
+// zero.
+var (
+	specializedVec = metrics.NewCounterVec("voodoo_fragments_specialized_total",
+		"Fragment executions by execution path: fused closure, batch primitives, or the per-element interpreter.", "path")
+	specFusedC  = specializedVec.With("fused")
+	specBatchC  = specializedVec.With("batch")
+	specInterpC = specializedVec.With("interp")
+)
+
+// specBatchN is the lane count of one register-column batch. It equals
+// checkInterval so every batch boundary is a cancellation checkpoint,
+// preserving the interpreter's cancellation latency.
+const specBatchN = checkInterval
+
+// specProgram is the cached compilation of one fragment, stored on the
+// Fragment via kernel.StoreSpec.
+type specProgram struct {
+	batch *batchProg  // nil when the fragment is not batch-eligible
+	fused fusedRunner // nil when no fused shape matched
+	// fusedCountable / batch.countable report whether the path's event
+	// counts are exact (all accesses sequential); counted runs of
+	// non-countable fragments use the interpreter.
+	fusedCountable bool
+}
+
+// fusedRunner executes work items [lo, hi) of a fragment as a single
+// hand-fused loop.
+type fusedRunner func(w *worker, lo, hi int) error
+
+// specAssign is the path resolution for one fragment run, threaded to
+// every participating worker (the submitter and all pool helpers claim
+// morsels of the same job, so all must run the same code).
+type specAssign struct {
+	batch *batchProg
+	fused fusedRunner
+}
+
+// specFor returns the fragment's cached specialization, compiling it on
+// first use. Racing first executions compile redundantly but store
+// identical content.
+func specFor(f *kernel.Fragment) *specProgram {
+	if v := f.LoadSpec(); v != nil {
+		return v.(*specProgram)
+	}
+	sp := &specProgram{batch: compileBatch(f)}
+	sp.fused, sp.fusedCountable = matchFused(f)
+	f.StoreSpec(sp)
+	return sp
+}
+
+// resolveSpec picks the execution path for one fragment run and counts it.
+// counting reports whether this run accumulates FragStats (which demands
+// exact event counts from the chosen path).
+func resolveSpec(f *kernel.Fragment, mode SpecMode, counting, faults bool) (specAssign, string) {
+	if mode == SpecializeOff || faults {
+		specInterpC.Inc()
+		return specAssign{}, "interp"
+	}
+	sp := specFor(f)
+	if sp.fused != nil && mode != SpecializeBatchOnly && (!counting || sp.fusedCountable) {
+		specFusedC.Inc()
+		return specAssign{fused: sp.fused}, "fused"
+	}
+	if sp.batch != nil && (!counting || sp.batch.countable) {
+		specBatchC.Inc()
+		return specAssign{batch: sp.batch}, "batch"
+	}
+	specInterpC.Inc()
+	return specAssign{}, "interp"
+}
+
+// ---------------------------------------------------------------------------
+// Batch primitives
+
+// batchPrim executes one instruction over the active lanes of a batch.
+type batchPrim func(w *worker, b *bstate) error
+
+// batchProg is a fragment compiled to batch primitives: one primitive
+// sequence (segment) per loop, executed over batches of up to specBatchN
+// consecutive work items.
+type batchProg struct {
+	segs [][]batchPrim
+	// intRegs/fltRegs are the registers needing a column in each file;
+	// nregs bounds both index spaces.
+	intRegs []kernel.Reg
+	fltRegs []kernel.Reg
+	nregs   int
+	// countable marks every compiled memory access sequential, making the
+	// batch's event counts exact (see the package comment).
+	countable bool
+}
+
+// bstate is a worker's per-batch register-column state. Columns live in
+// the worker's pooled scratch; sel == nil means all n lanes are active,
+// otherwise sel lists active lane offsets in ascending order.
+type bstate struct {
+	n      int
+	sel    []int32
+	selBuf []int32
+	ri     [][]int64
+	rf     [][]float64
+}
+
+// active returns the live lane count of the batch.
+func (b *bstate) active() int {
+	if b.sel == nil {
+		return b.n
+	}
+	return len(b.sel)
+}
+
+// compileBatch translates the fragment into batch primitives, or returns
+// nil when it is not eligible. Eligibility is conservative: every
+// rejected fragment simply interprets.
+func compileBatch(f *kernel.Fragment) *batchProg {
+	// Whole-lane execution must reduce to the loop bodies: any per-item
+	// prologue/epilogue or scratch array needs element-major order.
+	if f.Locals != 0 || len(f.Pre) != 0 || len(f.Post) != 0 || len(f.PostLoopBody) != 0 {
+		return nil
+	}
+	if len(f.Loops) == 0 {
+		return nil
+	}
+	// Each loop must run exactly one iteration with idx == gid, so a batch
+	// of consecutive gids is a batch of consecutive idxs.
+	if f.Intent != 1 && !f.Strided {
+		return nil
+	}
+	for _, l := range f.Loops {
+		if l.BoundReg > 0 {
+			return nil
+		}
+		bound := l.Bound
+		if bound <= 0 {
+			bound = f.Intent
+		}
+		if bound != 1 {
+			return nil
+		}
+	}
+	bp := &batchProg{countable: true}
+	usedI := map[kernel.Reg]bool{kernel.RegGID: true, kernel.RegIV: true, kernel.RegIdx: true}
+	usedF := map[kernel.Reg]bool{}
+	loaded := map[int]bool{}
+	stored := map[int]bool{}
+	for _, l := range f.Loops {
+		// Registers may not carry values across work items: the
+		// interpreter's register file persists across gids, so a read
+		// before a definition (within this loop body) would observe a
+		// sibling item's leftovers and diverge. Specials are defined by
+		// the batch prologue.
+		defI := map[kernel.Reg]bool{kernel.RegGID: true, kernel.RegIV: true, kernel.RegIdx: true}
+		defF := map[kernel.Reg]bool{}
+		var seg []batchPrim
+		for _, in := range l.Body {
+			switch in.Op {
+			case kernel.IConstI, kernel.IConstF, kernel.IMov, kernel.IBin, kernel.ISel,
+				kernel.ILoad, kernel.ILoadValid, kernel.IStore, kernel.IGuard,
+				kernel.ICastIF, kernel.ICastFI:
+			default:
+				return nil // locals and unknown opcodes stay interpreted
+			}
+			for _, u := range in.Uses() {
+				if u.R < 0 {
+					return nil
+				}
+				if u.Float {
+					if !defF[u.R] {
+						return nil
+					}
+				} else if !defI[u.R] {
+					return nil
+				}
+			}
+			switch in.Op {
+			case kernel.ILoad, kernel.ILoadValid:
+				if stored[in.Buf] {
+					return nil // load-after-store order hazard
+				}
+				loaded[in.Buf] = true
+				if !in.Seq {
+					bp.countable = false
+				}
+			case kernel.IStore:
+				if stored[in.Buf] || loaded[in.Buf] {
+					return nil // one store per buffer, disjoint from loads
+				}
+				stored[in.Buf] = true
+				if !in.Seq {
+					bp.countable = false
+				}
+			}
+			if r, flt, ok := in.Def(); ok {
+				if r < kernel.FirstFree {
+					return nil // rewriting a special register breaks the prologue
+				}
+				if flt {
+					defF[r], usedF[r] = true, true
+				} else {
+					defI[r], usedI[r] = true, true
+				}
+			}
+			p := compilePrim(in)
+			if p == nil {
+				return nil
+			}
+			seg = append(seg, p)
+		}
+		bp.segs = append(bp.segs, seg)
+	}
+	for r := range usedI {
+		bp.intRegs = append(bp.intRegs, r)
+		if int(r)+1 > bp.nregs {
+			bp.nregs = int(r) + 1
+		}
+	}
+	for r := range usedF {
+		bp.fltRegs = append(bp.fltRegs, r)
+		if int(r)+1 > bp.nregs {
+			bp.nregs = int(r) + 1
+		}
+	}
+	return bp
+}
+
+// attachBatch wires the worker's pooled scratch up as register columns for
+// bp. Columns are not zeroed: compileBatch proved every read is preceded
+// by a definition in the same segment.
+func (w *worker) attachBatch(bp *batchProg) {
+	sc := w.scratch
+	ints := grow(&sc.bcols, len(bp.intRegs)*specBatchN)
+	flts := grow(&sc.bfcols, len(bp.fltRegs)*specBatchN)
+	if cap(sc.bri) < bp.nregs {
+		sc.bri = make([][]int64, bp.nregs)
+		sc.brf = make([][]float64, bp.nregs)
+	}
+	sc.bri = sc.bri[:bp.nregs]
+	sc.brf = sc.brf[:bp.nregs]
+	clear(sc.bri)
+	clear(sc.brf)
+	for i, r := range bp.intRegs {
+		sc.bri[r] = ints[i*specBatchN : (i+1)*specBatchN]
+	}
+	for i, r := range bp.fltRegs {
+		sc.brf[r] = flts[i*specBatchN : (i+1)*specBatchN]
+	}
+	if cap(sc.bsel) < specBatchN {
+		sc.bsel = make([]int32, specBatchN)
+	}
+	w.bst = bstate{ri: sc.bri, rf: sc.brf, selBuf: sc.bsel[:0]}
+}
+
+// tickN retires n items' worth of checkpoint budget at once — the batch
+// paths' replacement for per-item tick. Specialized paths never run with
+// fault injection enabled (resolveSpec falls back to the interpreter), so
+// the per-item hook is not replayed here.
+func (w *worker) tickN(n int) error {
+	w.budget -= n
+	if w.budget > 0 {
+		return nil
+	}
+	w.budget = checkInterval
+	if w.stop != nil && w.stop.Load() {
+		return errAborted
+	}
+	if w.ctx != nil {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatch executes work items [lo, hi) through the batch primitives.
+func (w *worker) runBatch(lo, hi int) error {
+	bp := w.batch
+	b := &w.bst
+	f := w.f
+	if f.N > 0 && hi > f.N {
+		// Lanes with idx >= N skip their (single) loop iteration, and
+		// eligible fragments have no prologue or epilogue, so the whole
+		// lane is a no-op.
+		hi = f.N
+	}
+	for base := lo; base < hi; base += specBatchN {
+		n := min(specBatchN, hi-base)
+		if w.checks {
+			if err := w.tickN(n); err != nil {
+				return err
+			}
+		}
+		gidc, ivc, idxc := b.ri[kernel.RegGID], b.ri[kernel.RegIV], b.ri[kernel.RegIdx]
+		for i := 0; i < n; i++ {
+			g := int64(base + i)
+			gidc[i] = g
+			ivc[i] = 0
+			idxc[i] = g
+		}
+		b.n = n
+		for _, seg := range bp.segs {
+			b.sel = nil
+			for _, p := range seg {
+				if err := p(w, b); err != nil {
+					return err
+				}
+				if b.sel != nil && len(b.sel) == 0 {
+					break // every lane guarded off: skip the rest of the segment
+				}
+			}
+			if w.count {
+				w.stats.Items += int64(n)
+			}
+		}
+	}
+	return nil
+}
+
+// countSeqAccess mirrors the interpreter's countAccess for the sequential
+// accesses the countable batch paths compile, over lanes active lanes.
+func (w *worker) countSeqAccess(in kernel.Instr, buf *Buffer, lanes int64) {
+	if !w.count {
+		return
+	}
+	if in.Op == kernel.IStore {
+		w.stats.StoreBytes += 8 * lanes
+		if buf.Valid != nil {
+			w.stats.StoreBytes += lanes
+		}
+	}
+	width := int64(8)
+	if in.Op == kernel.ILoadValid {
+		if buf.Valid == nil {
+			w.stats.IntOps += 2 * lanes
+			return
+		}
+		width = 1
+	}
+	w.stats.SeqBytes += width * lanes
+}
+
+// compilePrim builds the batch primitive for one instruction, or nil when
+// the instruction cannot be compiled.
+func compilePrim(in kernel.Instr) batchPrim {
+	switch in.Op {
+	case kernel.IConstI:
+		dst, imm := in.Dst, in.Imm
+		return func(_ *worker, b *bstate) error {
+			d := b.ri[dst]
+			if s := b.sel; s != nil {
+				for _, i := range s {
+					d[i] = imm
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = imm
+				}
+			}
+			return nil
+		}
+	case kernel.IConstF:
+		dst, imm := in.Dst, in.FImm
+		return func(_ *worker, b *bstate) error {
+			d := b.rf[dst]
+			if s := b.sel; s != nil {
+				for _, i := range s {
+					d[i] = imm
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = imm
+				}
+			}
+			return nil
+		}
+	case kernel.IMov:
+		dst, a, flt := in.Dst, in.A, in.Float
+		return func(_ *worker, b *bstate) error {
+			if flt {
+				d, src := b.rf[dst], b.rf[a]
+				if s := b.sel; s != nil {
+					for _, i := range s {
+						d[i] = src[i]
+					}
+				} else {
+					copy(d[:b.n], src[:b.n])
+				}
+			} else {
+				d, src := b.ri[dst], b.ri[a]
+				if s := b.sel; s != nil {
+					for _, i := range s {
+						d[i] = src[i]
+					}
+				} else {
+					copy(d[:b.n], src[:b.n])
+				}
+			}
+			return nil
+		}
+	case kernel.IBin:
+		if in.Float {
+			return primBinF(in)
+		}
+		return primBinI(in)
+	case kernel.ISel:
+		dst, a, bb, cc, flt := in.Dst, in.A, in.B, in.C, in.Float
+		return func(w *worker, b *bstate) error {
+			cond := b.ri[a]
+			if w.count {
+				w.stats.IntOps += int64(b.active())
+			}
+			if flt {
+				d, x, y := b.rf[dst], b.rf[bb], b.rf[cc]
+				if s := b.sel; s != nil {
+					for _, i := range s {
+						if cond[i] != 0 {
+							d[i] = x[i]
+						} else {
+							d[i] = y[i]
+						}
+					}
+				} else {
+					for i := 0; i < b.n; i++ {
+						if cond[i] != 0 {
+							d[i] = x[i]
+						} else {
+							d[i] = y[i]
+						}
+					}
+				}
+			} else {
+				d, x, y := b.ri[dst], b.ri[bb], b.ri[cc]
+				if s := b.sel; s != nil {
+					for _, i := range s {
+						if cond[i] != 0 {
+							d[i] = x[i]
+						} else {
+							d[i] = y[i]
+						}
+					}
+				} else {
+					for i := 0; i < b.n; i++ {
+						if cond[i] != 0 {
+							d[i] = x[i]
+						} else {
+							d[i] = y[i]
+						}
+					}
+				}
+			}
+			return nil
+		}
+	case kernel.ILoad:
+		return primLoad(in)
+	case kernel.ILoadValid:
+		return primLoadValid(in)
+	case kernel.IStore:
+		return primStore(in)
+	case kernel.IGuard:
+		a := in.A
+		return func(w *worker, b *bstate) error {
+			cond := b.ri[a]
+			if w.count {
+				w.stats.Guards += int64(b.active())
+			}
+			if s := b.sel; s != nil {
+				// In-place compaction: writes trail reads.
+				out := s[:0]
+				for _, i := range s {
+					if cond[i] != 0 {
+						out = append(out, i)
+					}
+				}
+				b.sel = out
+			} else {
+				out := b.selBuf[:0]
+				for i := 0; i < b.n; i++ {
+					if cond[i] != 0 {
+						out = append(out, int32(i))
+					}
+				}
+				b.sel = out
+			}
+			if w.count {
+				w.stats.GuardsPass += int64(len(b.sel))
+			}
+			return nil
+		}
+	case kernel.ICastIF:
+		dst, a := in.Dst, in.A
+		return func(_ *worker, b *bstate) error {
+			d, src := b.rf[dst], b.ri[a]
+			if s := b.sel; s != nil {
+				for _, i := range s {
+					d[i] = float64(src[i])
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = float64(src[i])
+				}
+			}
+			return nil
+		}
+	case kernel.ICastFI:
+		dst, a := in.Dst, in.A
+		return func(_ *worker, b *bstate) error {
+			d, src := b.ri[dst], b.rf[a]
+			if s := b.sel; s != nil {
+				for _, i := range s {
+					d[i] = int64(src[i])
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = int64(src[i])
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// primBinI compiles an integer IBin. The hot arithmetic and comparison
+// operators get dedicated loops (bounds-check-friendly, vectorizable);
+// trapping and rare operators share a per-element loop through ibin so
+// error messages match the interpreter exactly.
+func primBinI(in kernel.Instr) batchPrim {
+	op, dr, ar, br := in.BOp, in.Dst, in.A, in.B
+	return func(w *worker, b *bstate) error {
+		d, x, y := b.ri[dr], b.ri[ar], b.ri[br]
+		if w.count {
+			w.stats.IntOps += int64(b.active())
+		}
+		s := b.sel
+		switch op {
+		case kernel.BAdd:
+			if s != nil {
+				for _, i := range s {
+					d[i] = x[i] + y[i]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = x[i] + y[i]
+				}
+			}
+		case kernel.BSub:
+			if s != nil {
+				for _, i := range s {
+					d[i] = x[i] - y[i]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = x[i] - y[i]
+				}
+			}
+		case kernel.BMul:
+			if s != nil {
+				for _, i := range s {
+					d[i] = x[i] * y[i]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = x[i] * y[i]
+				}
+			}
+		case kernel.BGt:
+			if s != nil {
+				for _, i := range s {
+					d[i] = b2i(x[i] > y[i])
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = b2i(x[i] > y[i])
+				}
+			}
+		case kernel.BGe:
+			if s != nil {
+				for _, i := range s {
+					d[i] = b2i(x[i] >= y[i])
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = b2i(x[i] >= y[i])
+				}
+			}
+		case kernel.BEq:
+			if s != nil {
+				for _, i := range s {
+					d[i] = b2i(x[i] == y[i])
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = b2i(x[i] == y[i])
+				}
+			}
+		case kernel.BMin:
+			if s != nil {
+				for _, i := range s {
+					d[i] = min(x[i], y[i])
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = min(x[i], y[i])
+				}
+			}
+		case kernel.BMax:
+			if s != nil {
+				for _, i := range s {
+					d[i] = max(x[i], y[i])
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = max(x[i], y[i])
+				}
+			}
+		case kernel.BAnd:
+			if s != nil {
+				for _, i := range s {
+					d[i] = b2i(x[i] != 0 && y[i] != 0)
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = b2i(x[i] != 0 && y[i] != 0)
+				}
+			}
+		case kernel.BOr:
+			if s != nil {
+				for _, i := range s {
+					d[i] = b2i(x[i] != 0 || y[i] != 0)
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = b2i(x[i] != 0 || y[i] != 0)
+				}
+			}
+		default:
+			if s != nil {
+				for _, i := range s {
+					v, err := ibin(op, x[i], y[i])
+					if err != nil {
+						return err
+					}
+					d[i] = v
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					v, err := ibin(op, x[i], y[i])
+					if err != nil {
+						return err
+					}
+					d[i] = v
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// primBinF compiles a float IBin, with the same hot/rare split as
+// primBinI.
+func primBinF(in kernel.Instr) batchPrim {
+	op, dr, ar, br := in.BOp, in.Dst, in.A, in.B
+	return func(w *worker, b *bstate) error {
+		d, x, y := b.rf[dr], b.rf[ar], b.rf[br]
+		if w.count {
+			w.stats.FloatOps += int64(b.active())
+		}
+		s := b.sel
+		switch op {
+		case kernel.BAdd:
+			if s != nil {
+				for _, i := range s {
+					d[i] = x[i] + y[i]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = x[i] + y[i]
+				}
+			}
+		case kernel.BSub:
+			if s != nil {
+				for _, i := range s {
+					d[i] = x[i] - y[i]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = x[i] - y[i]
+				}
+			}
+		case kernel.BMul:
+			if s != nil {
+				for _, i := range s {
+					d[i] = x[i] * y[i]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					d[i] = x[i] * y[i]
+				}
+			}
+		default:
+			if s != nil {
+				for _, i := range s {
+					v, err := fbin(op, x[i], y[i])
+					if err != nil {
+						return err
+					}
+					d[i] = v
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					v, err := fbin(op, x[i], y[i])
+					if err != nil {
+						return err
+					}
+					d[i] = v
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// primLoad compiles ILoad. Loads indexed directly by RegIdx over a dense
+// batch reduce to a bounds-checked copy.
+func primLoad(in kernel.Instr) batchPrim {
+	dr, ar, bi, flt := in.Dst, in.A, in.Buf, in.Float
+	instr := in
+	return func(w *worker, b *bstate) error {
+		buf := w.env.Bufs[bi]
+		ln := int64(buf.Len())
+		a := b.ri[ar]
+		s := b.sel
+		if flt {
+			d := b.rf[dr]
+			if s == nil && ar == kernel.RegIdx && b.n > 0 && a[0] >= 0 && a[b.n-1] < ln {
+				// A dense batch loading at RegIdx reads consecutive slots:
+				// one range check, then a straight copy. Out-of-range
+				// batches take the generic loop so the error names the
+				// first offending index, as the interpreter would.
+				lo := a[0]
+				copy(d[:b.n], buf.F[lo:lo+int64(b.n)])
+			} else if s != nil {
+				for _, i := range s {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("load out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					d[i] = buf.F[ix]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("load out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					d[i] = buf.F[ix]
+				}
+			}
+		} else {
+			d := b.ri[dr]
+			if s == nil && ar == kernel.RegIdx && b.n > 0 && a[0] >= 0 && a[b.n-1] < ln {
+				lo := a[0]
+				copy(d[:b.n], buf.I[lo:lo+int64(b.n)])
+			} else if s != nil {
+				for _, i := range s {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("load out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					d[i] = buf.I[ix]
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("load out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					d[i] = buf.I[ix]
+				}
+			}
+		}
+		w.countSeqAccess(instr, buf, int64(b.active()))
+		return nil
+	}
+}
+
+// primLoadValid compiles ILoadValid: out-of-bounds probes yield 0, maskless
+// buffers yield 1, exactly like the interpreter.
+func primLoadValid(in kernel.Instr) batchPrim {
+	dr, ar, bi := in.Dst, in.A, in.Buf
+	instr := in
+	return func(w *worker, b *bstate) error {
+		buf := w.env.Bufs[bi]
+		ln := int64(buf.Len())
+		a := b.ri[ar]
+		d := b.ri[dr]
+		valid := buf.Valid
+		if s := b.sel; s != nil {
+			for _, i := range s {
+				ix := a[i]
+				if ix < 0 || ix >= ln {
+					d[i] = 0
+				} else if valid == nil || valid[ix] {
+					d[i] = 1
+				} else {
+					d[i] = 0
+				}
+			}
+		} else {
+			for i := 0; i < b.n; i++ {
+				ix := a[i]
+				if ix < 0 || ix >= ln {
+					d[i] = 0
+				} else if valid == nil || valid[ix] {
+					d[i] = 1
+				} else {
+					d[i] = 0
+				}
+			}
+		}
+		w.countSeqAccess(instr, buf, int64(b.active()))
+		return nil
+	}
+}
+
+// primStore compiles IStore, including the C-register conditional-validity
+// protocol (empty slots store the reserved zero representation).
+func primStore(in kernel.Instr) batchPrim {
+	ar, br, cr, bi, flt := in.A, in.B, in.C, in.Buf, in.Float
+	instr := in
+	return func(w *worker, b *bstate) error {
+		buf := w.env.Bufs[bi]
+		ln := int64(buf.Len())
+		a := b.ri[ar]
+		var cond []int64
+		if buf.Valid != nil && cr > 0 {
+			cond = b.ri[cr]
+		}
+		s := b.sel
+		if flt {
+			src := b.rf[br]
+			if s == nil && ar == kernel.RegIdx && cond == nil && buf.Valid == nil &&
+				b.n > 0 && a[0] >= 0 && a[b.n-1] < ln {
+				// Dense contiguous store without a validity mask: one range
+				// check, then a straight copy.
+				lo := a[0]
+				copy(buf.F[lo:lo+int64(b.n)], src[:b.n])
+			} else if s != nil {
+				for _, i := range s {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("store out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					v, valid := src[i], true
+					if cond != nil && cond[i] == 0 {
+						v, valid = 0, false
+					}
+					buf.F[ix] = v
+					if buf.Valid != nil {
+						buf.Valid[ix] = valid
+					}
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("store out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					v, valid := src[i], true
+					if cond != nil && cond[i] == 0 {
+						v, valid = 0, false
+					}
+					buf.F[ix] = v
+					if buf.Valid != nil {
+						buf.Valid[ix] = valid
+					}
+				}
+			}
+		} else {
+			src := b.ri[br]
+			if s == nil && ar == kernel.RegIdx && cond == nil && buf.Valid == nil &&
+				b.n > 0 && a[0] >= 0 && a[b.n-1] < ln {
+				lo := a[0]
+				copy(buf.I[lo:lo+int64(b.n)], src[:b.n])
+			} else if s != nil {
+				for _, i := range s {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("store out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					v, valid := src[i], true
+					if cond != nil && cond[i] == 0 {
+						v, valid = 0, false
+					}
+					buf.I[ix] = v
+					if buf.Valid != nil {
+						buf.Valid[ix] = valid
+					}
+				}
+			} else {
+				for i := 0; i < b.n; i++ {
+					ix := a[i]
+					if ix < 0 || ix >= ln {
+						return fmt.Errorf("store out of bounds: buf %d idx %d len %d", bi, ix, buf.Len())
+					}
+					v, valid := src[i], true
+					if cond != nil && cond[i] == 0 {
+						v, valid = 0, false
+					}
+					buf.I[ix] = v
+					if buf.Valid != nil {
+						buf.Valid[ix] = valid
+					}
+				}
+			}
+		}
+		w.countSeqAccess(instr, buf, int64(b.active()))
+		return nil
+	}
+}

@@ -19,6 +19,7 @@ package kernel
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"voodoo/internal/vector"
 )
@@ -191,7 +192,21 @@ type Fragment struct {
 	// PostLoopBody runs Locals times per work item with RegJ = 0..Locals-1,
 	// flushing scratch arrays to global buffers.
 	PostLoopBody []Instr
+
+	// spec caches the executor's compiled specialization of this fragment
+	// (opaque here; package exec owns the concrete type). Fragments are
+	// immutable after compilation, so racing compilations store identical
+	// content and the last store winning is benign.
+	spec atomic.Value
 }
+
+// LoadSpec returns the cached specialization, or nil before the first
+// StoreSpec. Safe for concurrent use.
+func (f *Fragment) LoadSpec() any { return f.spec.Load() }
+
+// StoreSpec caches a compiled specialization on the fragment. Safe for
+// concurrent use; later stores overwrite earlier ones.
+func (f *Fragment) StoreSpec(v any) { f.spec.Store(v) }
 
 // Sequential reports whether the fragment runs on a single work item.
 func (f *Fragment) Sequential() bool { return f.Extent <= 1 }
@@ -316,4 +331,106 @@ func (in Instr) String() string {
 		return fmt.Sprintf("loc[r%d] = r%d", in.A, in.B)
 	}
 	return fmt.Sprintf("instr(%d)", in.Op)
+}
+
+// RegUse is one register operand an instruction reads, with the register
+// file it reads from (Float selects the float file).
+type RegUse struct {
+	R     Reg
+	Float bool
+}
+
+// Uses returns the registers the instruction reads, with their domains.
+// Guard conditions, load indices and select conditions always read the
+// integer file; value operands follow the instruction's Float flag. Used
+// by the executor's specializer for def-before-use analysis; not a hot
+// path.
+func (in Instr) Uses() []RegUse {
+	switch in.Op {
+	case IConstI, IConstF:
+		return nil
+	case IMov, IBin:
+		if in.Op == IMov {
+			return []RegUse{{in.A, in.Float}}
+		}
+		return []RegUse{{in.A, in.Float}, {in.B, in.Float}}
+	case ISel:
+		return []RegUse{{in.A, false}, {in.B, in.Float}, {in.C, in.Float}}
+	case ILoad, ILoadValid, IGuard, ICastIF, ILoadLoc:
+		return []RegUse{{in.A, false}}
+	case ICastFI:
+		return []RegUse{{in.A, true}}
+	case IStore, IStoreLoc:
+		u := []RegUse{{in.A, false}, {in.B, in.Float}}
+		if in.Op == IStore && in.C > 0 {
+			u = append(u, RegUse{in.C, false})
+		}
+		return u
+	}
+	return nil
+}
+
+// Def returns the register the instruction writes and its domain, or
+// ok=false for instructions with no register result (stores, guards).
+func (in Instr) Def() (r Reg, float bool, ok bool) {
+	switch in.Op {
+	case IConstI:
+		return in.Dst, false, true
+	case IConstF:
+		return in.Dst, true, true
+	case IMov, IBin, ISel, ILoad, ILoadLoc:
+		return in.Dst, in.Float, true
+	case ILoadValid, ICastFI:
+		return in.Dst, false, true
+	case ICastIF:
+		return in.Dst, true, true
+	}
+	return NoReg, false, false
+}
+
+// opMnemos are the compact opcode names Fingerprint uses.
+var opMnemos = [...]string{"ci", "cf", "mov", "bin", "sel", "ld", "ldv", "st", "grd", "i2f", "f2i", "ldl", "stl"}
+
+// Fingerprint returns a compact structural signature of the fragment's
+// instruction shape — opcode mnemonics per section, binops spelled out,
+// sequential accesses marked — for fast-path diagnostics and tests. Two
+// fragments with equal fingerprints have the same instruction skeleton
+// (registers and buffer bindings may differ).
+func (f *Fragment) Fingerprint() string {
+	var sb strings.Builder
+	section := func(tag string, instrs []Instr) {
+		if len(instrs) == 0 {
+			return
+		}
+		sb.WriteString(tag)
+		sb.WriteByte(':')
+		for i, in := range instrs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if int(in.Op) < len(opMnemos) {
+				sb.WriteString(opMnemos[in.Op])
+			} else {
+				fmt.Fprintf(&sb, "op%d", in.Op)
+			}
+			if in.Op == IBin {
+				sb.WriteByte('.')
+				sb.WriteString(in.BOp.String())
+			}
+			if (in.Op == ILoad || in.Op == IStore) && in.Seq {
+				sb.WriteString(".s")
+			}
+			if in.Float {
+				sb.WriteString(".f")
+			}
+		}
+		sb.WriteByte(';')
+	}
+	section("pre", f.Pre)
+	for _, l := range f.Loops {
+		section("loop", l.Body)
+	}
+	section("post", f.Post)
+	section("postloop", f.PostLoopBody)
+	return sb.String()
 }

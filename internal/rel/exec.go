@@ -53,6 +53,10 @@ type Engine struct {
 	// fragments in work items (0 = exec.DefaultMorsel); compiling
 	// backends only.
 	MorselSize int
+	// NoSpecialize disables fragment specialization (batch primitives and
+	// fused fast paths), forcing every fragment through the per-element
+	// interpreter; compiling backends only.
+	NoSpecialize bool
 	// Limits is the per-query resource governor (memory budget, extent
 	// cap, deadline); the zero value imposes no limits. The memory and
 	// extent limits apply to the compiling backends; the deadline applies
@@ -217,6 +221,9 @@ func (e *Engine) RunPrepared(ctx context.Context, pr *Prepared) (res *Result, st
 			e.PlanSink(pr.plan)
 		}
 		ro := compile.RunOpts{Limits: e.Limits, Pool: e.Pool, CollectStats: e.CollectStats, MorselSize: e.MorselSize}
+		if e.NoSpecialize {
+			ro.Specialize = exec.SpecializeOff
+		}
 		var pres *compile.Result
 		var rerr error
 		if e.TraceSink != nil {

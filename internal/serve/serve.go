@@ -65,6 +65,9 @@ type Config struct {
 	// MorselSize overrides the scheduling granularity of parallel
 	// fragments in work items (0 = exec.DefaultMorsel).
 	MorselSize int
+	// NoSpecialize disables fragment specialization, forcing every
+	// fragment through the per-element interpreter.
+	NoSpecialize bool
 	// SlowQueries is the slow-query ring capacity (0 = 16).
 	SlowQueries int
 	// PlanCache is the compiled-plan cache capacity in entries
@@ -352,9 +355,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// working memory recycles across requests.
 	e := &rel.Engine{
 		Cat: cat, Backend: s.cfg.Backend, Opt: s.cfg.Opt,
-		Limits:     s.cfg.Limits,
-		Pool:       s.pool,
-		MorselSize: s.cfg.MorselSize,
+		Limits:       s.cfg.Limits,
+		Pool:         s.pool,
+		MorselSize:   s.cfg.MorselSize,
+		NoSpecialize: s.cfg.NoSpecialize,
 	}
 	e.Limits.Deadline = deadline
 

@@ -133,6 +133,9 @@ func BuildSpans(m QueryMeta, traces []*trace.Trace) QuerySpans {
 			if s.Suppressed {
 				sa["empty_slot_suppression"] = true
 			}
+			if s.Specialized != "" {
+				sa["specialized"] = s.Specialized
+			}
 			child(s.Kind+" "+s.Name, phase, stepCursor, s.WallNS, sa)
 			stepCursor += s.WallNS
 		}

@@ -32,6 +32,9 @@ const (
 	KindPersist  = "persist"
 	KindOutput   = "output"
 	KindStmt     = "stmt"
+	// KindPruned marks a fragment elided at plan time by zone-map
+	// statistics (a selection whose predicate provably never passes).
+	KindPruned = "pruned"
 )
 
 // Step is the trace record of one plan step (one fragment, bulk step, or
@@ -51,6 +54,11 @@ type Step struct {
 	Suppressed bool `json:"empty_slot_suppression,omitempty"`
 	Virtual    bool `json:"virtual_scatter,omitempty"`
 	Predicated bool `json:"predicated,omitempty"`
+
+	// Specialized records which execution path ran a fragment step:
+	// "fused" (single-closure fast path), "batch" (compiled batch
+	// primitives), or "interp" (per-element interpreter fallback).
+	Specialized string `json:"specialized,omitempty"`
 
 	// Control-vector shape of a fragment: Extent parallel work items,
 	// Intent sequential iterations each, over N guarded elements.
@@ -229,6 +237,9 @@ func (t *Trace) String() string {
 		}
 		if s.Predicated {
 			flags = append(flags, "predicated")
+		}
+		if s.Specialized != "" && s.Specialized != "interp" {
+			flags = append(flags, "spec:"+s.Specialized)
 		}
 		if len(flags) > 0 {
 			fmt.Fprintf(&sb, " [%s]", strings.Join(flags, " "))
