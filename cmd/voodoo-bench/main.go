@@ -29,6 +29,7 @@ import (
 	"voodoo/internal/exec"
 	"voodoo/internal/metrics"
 	"voodoo/internal/telemetry"
+	"voodoo/internal/verify"
 )
 
 func main() {
@@ -42,8 +43,12 @@ func main() {
 	diagAddr := flag.String("diag-addr", "", "serve /metrics, pprof and expvar on this address while the benchmarks run (e.g. localhost:6060)")
 	noSpecialize := flag.Bool("no-specialize", false, "disable fragment specialization for every benchmark run (per-element interpreter only)")
 	logLevel := flag.String("log-level", "off", "structured-log threshold on stderr: debug, info, warn, error or off")
+	doVerify := flag.Bool("verify", false, "statically verify programs and compiled plans before execution (voodoo_verify_failures_total counts rejections)")
 	flag.Parse()
 
+	if *doVerify {
+		verify.SetEnabled(true)
+	}
 	if *noSpecialize {
 		exec.SetSpecializeDefault(false)
 	}

@@ -1,0 +1,191 @@
+// voodoo-lint runs the repo's contract analyzers (internal/lint) over Go
+// packages. It speaks the `go vet -vettool` unit-checker protocol without
+// depending on golang.org/x/tools, so it builds with the standard library
+// alone:
+//
+//	go build -o bin/voodoo-lint ./cmd/voodoo-lint
+//	go vet -vettool=bin/voodoo-lint ./...
+//
+// Invoked directly with package patterns it re-executes itself through
+// `go vet`, so `voodoo-lint ./...` works from a checkout:
+//
+//	voodoo-lint ./...
+//
+// Protocol notes: `-V=full` prints a stable version string the go command
+// uses as a cache key; `-flags` declares the (empty) analyzer flag set;
+// `@file` names a JSON vet config describing one package to analyze.
+// Diagnostics go to stderr as file:line:col lines and exit status 2, which
+// `go vet` surfaces per package.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"voodoo/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// The go command hashes this line into its action cache; it must
+			// be stable and must not look like a devel version.
+			fmt.Println("voodoo-lint version 1")
+			return 0
+		case "-flags", "--flags":
+			// No analyzer flags: an empty JSON flag set.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	// The go command passes the path to the JSON vet config as the sole
+	// argument (x/tools' unitchecker also accepts it @-prefixed).
+	if len(args) == 1 && (strings.HasPrefix(args[0], "@") || strings.HasSuffix(args[0], ".cfg")) {
+		return vet(strings.TrimPrefix(args[0], "@"))
+	}
+	return standalone(args)
+}
+
+// vetConfig is the subset of the go command's vet configuration file the
+// checker needs (the full schema is defined by cmd/go and x/tools'
+// unitchecker; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "voodoo-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "voodoo-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even though these
+	// analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "voodoo-lint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "voodoo-lint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the go command already
+	// compiled, mapped via ImportMap (vendoring/test variants) and
+	// PackageFile (path → .a/.x file).
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := newInfo()
+	tconf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "voodoo-lint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := lint.Run(fset, files, pkg, info, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "voodoo-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Msg)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// standalone re-invokes the binary through `go vet -vettool`, which handles
+// package loading, export data and caching; patterns default to ./...
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "voodoo-lint: %v\n", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "voodoo-lint: %v\n", err)
+		return 1
+	}
+	return 0
+}

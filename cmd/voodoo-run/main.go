@@ -42,6 +42,7 @@ import (
 	"voodoo/internal/telemetry"
 	"voodoo/internal/tpch"
 	"voodoo/internal/trace"
+	"voodoo/internal/verify"
 )
 
 func main() {
@@ -62,8 +63,12 @@ func main() {
 	traceOut := flag.String("trace", "", "run the query and write its execution trace as JSON to this file")
 	diagAddr := flag.String("diag-addr", "", "serve /metrics, pprof and expvar on this address for the process lifetime (e.g. localhost:6060)")
 	logLevel := flag.String("log-level", "off", "structured-log threshold on stderr: debug, info, warn, error or off")
+	doVerify := flag.Bool("verify", false, "statically verify programs and compiled plans before execution (voodoo_verify_failures_total counts rejections)")
 	flag.Parse()
 
+	if *doVerify {
+		verify.SetEnabled(true)
+	}
 	if err := telemetry.InstallJSON(os.Stderr, *logLevel); err != nil {
 		fatal(err)
 	}

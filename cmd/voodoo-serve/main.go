@@ -72,6 +72,7 @@ import (
 	"voodoo/internal/telemetry"
 	"voodoo/internal/telemetry/slo"
 	"voodoo/internal/tpch"
+	"voodoo/internal/verify"
 )
 
 func main() {
@@ -98,8 +99,12 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", time.Second, "always retain events for queries at or above this wall time (0 = off)")
 	sloSpec := flag.String("slo", "query=500ms:0.99", "latency objectives, route=latency:target[,...] (empty disables SLO tracking)")
 	spanRetain := flag.Int("spans", 0, "retain span trees of the N most recent queries for /debug/spans (0 = 64, negative disables)")
+	doVerify := flag.Bool("verify", false, "statically verify programs and compiled plans before execution (voodoo_verify_failures_total counts rejections)")
 	flag.Parse()
 
+	if *doVerify {
+		verify.SetEnabled(true)
+	}
 	if err := telemetry.InstallJSON(os.Stderr, *logLevel); err != nil {
 		fatal(err)
 	}

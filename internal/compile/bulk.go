@@ -189,7 +189,8 @@ func (c *compiler) spillSel(si *selInfo) *desc {
 		// stays zeroed with all-false validity — bit-identical to running
 		// the selection — and the fragment is never emitted.
 		c.plan.steps = append(c.plan.steps, &prunedStep{
-			name: fmt.Sprintf("sel_%d", len(c.kern.Frags)), stmts: []int{si.stmt}})
+			name: fmt.Sprintf("sel_%d", len(c.kern.Frags)), stmts: []int{si.stmt},
+			outBufs: []int{posBuf}})
 		return out
 	}
 	f := &kernel.Fragment{
@@ -236,14 +237,17 @@ func (c *compiler) spillFilt(fi *filtInfo) *desc {
 		// column arrives zeroed and all-invalid, exactly as the fragment
 		// would leave it, so only the plan-time step record remains.
 		out := &desc{n: fi.sel.srcN}
+		var outBufs []int
 		for _, a := range fi.attrs {
 			buf := c.addBuf("filt."+a.name, a.kind(), fi.sel.srcN, true, false)
+			outBufs = append(outBufs, buf)
 			out.attrs = append(out.attrs, attr{name: a.name,
 				ex:      &eLoad{buf: buf, k: a.kind(), idx: theIdx},
 				validEx: &eLoadValid{buf: buf, idx: theIdx}})
 		}
 		c.plan.steps = append(c.plan.steps, &prunedStep{
-			name: fmt.Sprintf("filt_%d", len(c.kern.Frags)), stmts: []int{fi.sel.stmt, fi.stmt}})
+			name: fmt.Sprintf("filt_%d", len(c.kern.Frags)), stmts: []int{fi.sel.stmt, fi.stmt},
+			outBufs: outBufs})
 		return out
 	}
 	f := &kernel.Fragment{

@@ -7,6 +7,7 @@ import (
 	"voodoo/internal/interp"
 	"voodoo/internal/kernel"
 	"voodoo/internal/vector"
+	"voodoo/internal/verify"
 )
 
 // Storage provides persistent vectors; it is the same contract the
@@ -61,6 +62,12 @@ func Compile(p *core.Program, st Storage, opt Options) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if verify.Enabled() {
+		if diags := verify.Program(p, st); verify.HasErrors(diags) {
+			verify.FailuresTotal.Inc()
+			return nil, fmt.Errorf("compile: program failed verification: %s", firstError(diags))
+		}
+	}
 	c := &compiler{
 		prog: p, st: st, opt: opt,
 		kern:      &kernel.Kernel{},
@@ -72,7 +79,23 @@ func Compile(p *core.Program, st Storage, opt Options) (*Plan, error) {
 	if err := c.run(); err != nil {
 		return nil, err
 	}
+	if verify.Enabled() {
+		if diags := c.plan.Verify(); verify.HasErrors(diags) {
+			verify.FailuresTotal.Inc()
+			return nil, fmt.Errorf("compile: plan failed verification: %s", firstError(diags))
+		}
+	}
 	return c.plan, nil
+}
+
+// firstError returns the first Error-level diagnostic.
+func firstError(diags []verify.Diagnostic) verify.Diagnostic {
+	for _, d := range diags {
+		if d.Level == verify.Error {
+			return d
+		}
+	}
+	return verify.Diagnostic{}
 }
 
 type compiler struct {

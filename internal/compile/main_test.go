@@ -1,0 +1,17 @@
+package compile
+
+import (
+	"os"
+	"testing"
+
+	"voodoo/internal/verify"
+)
+
+// TestMain switches static verification on for every test in this package:
+// each compiled plan is verified before it is returned, so any compiler
+// change that emits an ill-formed plan fails here even when the dynamic
+// tests would not notice.
+func TestMain(m *testing.M) {
+	verify.SetEnabled(true)
+	os.Exit(m.Run())
+}

@@ -160,7 +160,7 @@ type bulkStep struct {
 func (s *bulkStep) run(rt *runtime) error {
 	args := make([]*vector.Vector, len(s.inputs))
 	for i, conv := range s.inputs {
-		v, err := conv(rt)
+		v, err := conv.run(rt)
 		if err != nil {
 			return err
 		}
@@ -196,6 +196,11 @@ func (s *bulkStep) stepName() string { return "bulk " + s.name }
 type prunedStep struct {
 	name  string
 	stmts []int
+	// outBufs are the buffers the elided fragment would have written.
+	// They must be declared with a validity mask and left unallocated by
+	// no one (non-input), so the zeroed state reads as all-ε; the plan
+	// verifier checks exactly that (rule VP004).
+	outBufs []int
 }
 
 func (s *prunedStep) run(rt *runtime) error { return nil }
@@ -209,7 +214,7 @@ type persistStep struct {
 }
 
 func (s *persistStep) run(rt *runtime) error {
-	v, err := s.conv(rt)
+	v, err := s.conv.run(rt)
 	if err != nil {
 		return err
 	}
@@ -449,14 +454,20 @@ func convertProtected(o output, rt *runtime) (v *vector.Vector, err error) {
 			v, err = nil, exec.NewPanicError(fmt.Sprintf("output v%d", o.ref), r, stack())
 		}
 	}()
-	return o.conv(rt)
+	return o.conv.run(rt)
 }
 
 func stack() []byte { return debug.Stack() }
 
 // converter produces the interpreter-layout vector for a compiled value at
-// runtime.
-type converter func(rt *runtime) (*vector.Vector, error)
+// runtime. bufs records the kernel buffers the closure reads — provenance
+// the plan verifier needs and an opaque function cannot expose.
+type converter struct {
+	bufs []int
+	fn   func(rt *runtime) (*vector.Vector, error)
+}
+
+func (c converter) run(rt *runtime) (*vector.Vector, error) { return c.fn(rt) }
 
 // converter builds the conversion closure for a descriptor, emitting any
 // materialization fragments needed (at compile time).
@@ -475,7 +486,15 @@ func (c *compiler) converter(d *desc) converter {
 	layout, logicalN, stride, countsBuf := d.layout, d.logicalN, d.runLen, d.countsBuf
 	n := d.n
 
-	return func(rt *runtime) (*vector.Vector, error) {
+	var bufs []int
+	for _, s := range slots {
+		bufs = append(bufs, s.buf)
+	}
+	if layout == layoutGroupCompact && countsBuf >= 0 {
+		bufs = append(bufs, countsBuf)
+	}
+
+	fn := func(rt *runtime) (*vector.Vector, error) {
 		switch layout {
 		case layoutDense:
 			out := vector.New(n)
@@ -542,4 +561,5 @@ func (c *compiler) converter(d *desc) converter {
 		}
 		return nil, fmt.Errorf("compile: cannot convert layout %d", layout)
 	}
+	return converter{bufs: bufs, fn: fn}
 }

@@ -129,6 +129,15 @@ var opTable = map[Op]opInfo{
 	OpFoldScan:    {"FoldScan", 1},
 }
 
+// Arity returns the number of vector arguments the operator consumes
+// (-1 means "1 or 2", used by OpRange) and whether the operator is known.
+// It exposes the same metadata Validate uses, so external verifiers stay
+// in lockstep with the algebra's own well-formedness rules.
+func Arity(o Op) (int, bool) {
+	info, ok := opTable[o]
+	return info.arity, ok
+}
+
 // String returns the operator's name as used in the paper.
 func (o Op) String() string {
 	if info, ok := opTable[o]; ok {

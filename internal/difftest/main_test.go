@@ -1,0 +1,18 @@
+package difftest
+
+import (
+	"os"
+	"testing"
+
+	"voodoo/internal/verify"
+)
+
+// TestMain switches static verification on for the whole differential
+// suite: the verifier is difftest's front line — every generated program
+// is verified before interpretation (a verifier Error on a cleanly
+// executing program fails the run), and every compiled plan is verified
+// before execution across all option combos.
+func TestMain(m *testing.M) {
+	verify.SetEnabled(true)
+	os.Exit(m.Run())
+}

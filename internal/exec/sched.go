@@ -316,6 +316,7 @@ func (s *scheduler) pick() *job {
 // when there are none, exit when the scheduler quiesces.
 func (s *scheduler) workerLoop() {
 	s.mu.Lock()
+	//lint:ignore checkpointloop dispatch loop: it parks on the condvar and exits on quiesce; morsel cancellation is the claim loop inside runMorsels
 	for {
 		if !s.quiesce {
 			if j := s.pick(); j != nil {

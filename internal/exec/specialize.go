@@ -44,6 +44,7 @@ import (
 
 	"voodoo/internal/kernel"
 	"voodoo/internal/metrics"
+	"voodoo/internal/verify"
 )
 
 // SpecMode selects how much fragment specialization the executor applies.
@@ -187,115 +188,36 @@ func (b *bstate) active() int {
 }
 
 // compileBatch translates the fragment into batch primitives, or returns
-// nil when it is not eligible. Eligibility is conservative: every
-// rejected fragment simply interprets.
+// nil when it is not eligible. Eligibility is decided entirely by the
+// verifier's fragment facts (verify.BatchFacts) — the single source of
+// truth for def-before-use, store/load disjointness and loop-shape rules —
+// so the specializer only translates instructions; it no longer re-derives
+// the analysis. Eligibility is conservative: every rejected fragment
+// simply interprets.
 func compileBatch(f *kernel.Fragment) *batchProg {
-	// Whole-lane execution must reduce to the loop bodies: any per-item
-	// prologue/epilogue or scratch array needs element-major order.
-	if f.Locals != 0 || len(f.Pre) != 0 || len(f.Post) != 0 || len(f.PostLoopBody) != 0 {
+	facts := verify.BatchFacts(f)
+	if !facts.BatchEligible {
 		return nil
 	}
-	if len(f.Loops) == 0 {
-		return nil
-	}
-	// Each loop must run exactly one iteration with idx == gid, so a batch
-	// of consecutive gids is a batch of consecutive idxs.
-	if f.Intent != 1 && !f.Strided {
-		return nil
+	bp := &batchProg{
+		countable: facts.Countable,
+		intRegs:   facts.IntRegs,
+		fltRegs:   facts.FltRegs,
+		nregs:     facts.NRegs,
 	}
 	for _, l := range f.Loops {
-		if l.BoundReg > 0 {
-			return nil
-		}
-		bound := l.Bound
-		if bound <= 0 {
-			bound = f.Intent
-		}
-		if bound != 1 {
-			return nil
-		}
-	}
-	bp := &batchProg{countable: true}
-	usedI := map[kernel.Reg]bool{kernel.RegGID: true, kernel.RegIV: true, kernel.RegIdx: true}
-	usedF := map[kernel.Reg]bool{}
-	loaded := map[int]bool{}
-	stored := map[int]bool{}
-	for _, l := range f.Loops {
-		// Registers may not carry values across work items: the
-		// interpreter's register file persists across gids, so a read
-		// before a definition (within this loop body) would observe a
-		// sibling item's leftovers and diverge. Specials are defined by
-		// the batch prologue.
-		defI := map[kernel.Reg]bool{kernel.RegGID: true, kernel.RegIV: true, kernel.RegIdx: true}
-		defF := map[kernel.Reg]bool{}
 		var seg []batchPrim
 		for _, in := range l.Body {
-			switch in.Op {
-			case kernel.IConstI, kernel.IConstF, kernel.IMov, kernel.IBin, kernel.ISel,
-				kernel.ILoad, kernel.ILoadValid, kernel.IStore, kernel.IGuard,
-				kernel.ICastIF, kernel.ICastFI:
-			default:
-				return nil // locals and unknown opcodes stay interpreted
-			}
-			for _, u := range in.Uses() {
-				if u.R < 0 {
-					return nil
-				}
-				if u.Float {
-					if !defF[u.R] {
-						return nil
-					}
-				} else if !defI[u.R] {
-					return nil
-				}
-			}
-			switch in.Op {
-			case kernel.ILoad, kernel.ILoadValid:
-				if stored[in.Buf] {
-					return nil // load-after-store order hazard
-				}
-				loaded[in.Buf] = true
-				if !in.Seq {
-					bp.countable = false
-				}
-			case kernel.IStore:
-				if stored[in.Buf] || loaded[in.Buf] {
-					return nil // one store per buffer, disjoint from loads
-				}
-				stored[in.Buf] = true
-				if !in.Seq {
-					bp.countable = false
-				}
-			}
-			if r, flt, ok := in.Def(); ok {
-				if r < kernel.FirstFree {
-					return nil // rewriting a special register breaks the prologue
-				}
-				if flt {
-					defF[r], usedF[r] = true, true
-				} else {
-					defI[r], usedI[r] = true, true
-				}
-			}
 			p := compilePrim(in)
 			if p == nil {
+				// Unreachable for fact-eligible fragments (the whitelist
+				// matches compilePrim's coverage); kept as a belt against
+				// the two drifting apart.
 				return nil
 			}
 			seg = append(seg, p)
 		}
 		bp.segs = append(bp.segs, seg)
-	}
-	for r := range usedI {
-		bp.intRegs = append(bp.intRegs, r)
-		if int(r)+1 > bp.nregs {
-			bp.nregs = int(r) + 1
-		}
-	}
-	for r := range usedF {
-		bp.fltRegs = append(bp.fltRegs, r)
-		if int(r)+1 > bp.nregs {
-			bp.nregs = int(r) + 1
-		}
 	}
 	return bp
 }

@@ -16,6 +16,7 @@ import (
 	"voodoo/internal/exec"
 	"voodoo/internal/trace"
 	"voodoo/internal/vector"
+	"voodoo/internal/verify"
 )
 
 // Storage provides the persistent vectors that Load reads and Persist
@@ -147,6 +148,26 @@ func runContext(ctx context.Context, p *core.Program, st Storage, tr *trace.Trac
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
+	// Verification cross-check (difftest's front line, and the -verify
+	// daemon path): algebra-level Error diagnostics are sound — the
+	// interpreter is guaranteed to reject such a program — so the program
+	// still executes, and a clean run after an Error diagnostic indicts
+	// the verifier itself.
+	var verifyDiag *verify.Diagnostic
+	if verify.Enabled() {
+		for _, d := range verify.Program(p, st) {
+			if d.Level == verify.Error {
+				verifyDiag = &d
+				break
+			}
+		}
+	}
+	defer func() {
+		if err == nil && verifyDiag != nil {
+			verify.FailuresTotal.Inc()
+			res, err = nil, fmt.Errorf("interp: program executed cleanly despite verifier error (%s) — verifier false positive", verifyDiag)
+		}
+	}()
 	trace.CountQuery()
 	start := time.Now()
 	defer func() { trace.ObserveQueryWall(time.Since(start)) }()

@@ -1,0 +1,17 @@
+package interp
+
+import (
+	"os"
+	"testing"
+
+	"voodoo/internal/verify"
+)
+
+// TestMain switches static verification on for every test in this package:
+// the interpreter cross-checks each program against the algebra-level
+// verifier, so a verifier Error on a program that then executes cleanly
+// (a false positive) fails the run loudly.
+func TestMain(m *testing.M) {
+	verify.SetEnabled(true)
+	os.Exit(m.Run())
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicPtr guards the atomic-field discipline: a struct field of a
+// sync/atomic type (atomic.Value, atomic.Bool, atomic.Pointer[T], ...) is a
+// synchronization point and must only be touched through its Load/Store/...
+// methods or by taking its address. Reading it as a plain value copies the
+// unexported state non-atomically, and reassigning it tears concurrent
+// updates — both are data races the race detector only catches when the
+// interleaving actually happens.
+var AtomicPtr = &Analyzer{
+	Name: "atomicptr",
+	Doc:  "sync/atomic fields must be accessed via their methods or by address, never copied or reassigned",
+	Run:  runAtomicPtr,
+}
+
+func runAtomicPtr(p *Pass) error {
+	for _, f := range p.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal || !isAtomicType(s.Type()) {
+				return true
+			}
+			switch parent := parents[sel].(type) {
+			case *ast.SelectorExpr:
+				// f.spec.Store(x): method access through the field.
+				return true
+			case *ast.UnaryExpr:
+				if parent.Op.String() == "&" {
+					return true
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range parent.Lhs {
+					if lhs == sel {
+						p.Reportf(sel.Pos(), "reassigning atomic field %s tears concurrent updates; use its Store method", sel.Sel.Name)
+						return true
+					}
+				}
+			}
+			p.Reportf(sel.Pos(), "copying atomic field %s reads it non-atomically; use its Load method or take its address", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is a named (non-pointer) type declared in
+// sync/atomic, including instantiated generics like atomic.Pointer[T].
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

@@ -1,0 +1,169 @@
+// Package lint is a small, dependency-free analysis framework in the style
+// of go/analysis, carrying the repo-specific contract analyzers that
+// cmd/voodoo-lint exposes to `go vet -vettool`:
+//
+//	noprintln       fmt.Print*/log.Print* banned across internal/
+//	arenarelease    pooled arenas and results must be released
+//	checkpointloop  work loops must contain a cancellation checkpoint
+//	atomicptr       sync/atomic fields accessed only through their methods
+//
+// A finding can be suppressed with a line comment
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either on the flagged line or on the line directly above it.
+// The stdlib-only design (go/ast + go/types, no x/tools) is what lets the
+// linter build and run in environments without network access.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named contract check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass hands an analyzer one type-checked package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	ignores  map[string]map[int][]string // filename → line → suppressed analyzer names
+	report   func(Diagnostic)
+}
+
+// Diagnostic is a single finding, positioned for file:line:col printing.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Msg, d.Analyzer)
+}
+
+// Reportf records a finding unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.analyzer.Name, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.ignores[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.analyzer.Name || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Analyzers returns every contract analyzer, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoPrintln, ArenaRelease, CheckpointLoop, AtomicPtr}
+}
+
+// Run executes the analyzers over one type-checked package and returns the
+// findings sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := buildIgnores(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset: fset, Files: files, Pkg: pkg, Info: info,
+			analyzer: a, ignores: ignores,
+			report: func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// buildIgnores maps //lint:ignore directives to (file, line) so Reportf can
+// honor them. The directive names one analyzer (or * for all); anything
+// after the name is the required human reason.
+func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	ignores := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				name, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if ignores[pos.Filename] == nil {
+					ignores[pos.Filename] = map[int][]string{}
+				}
+				ignores[pos.Filename][pos.Line] = append(ignores[pos.Filename][pos.Line], name)
+			}
+		}
+	}
+	return ignores
+}
+
+// isTestFile reports whether the file the node belongs to is a _test.go
+// file; the contract analyzers skip those (examples print, leak tests leak).
+func (p *Pass) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// internalPackage reports whether the package under analysis lives inside
+// the repo's internal/ tree (the scope of the style contracts).
+func (p *Pass) internalPackage() bool {
+	path := p.Pkg.Path()
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+// parentMap records the immediate parent of every node in a file, letting
+// analyzers classify how an expression is used.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

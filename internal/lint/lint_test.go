@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// analyze type-checks one synthetic file as package pkgpath and runs the
+// given analyzers over it.
+func analyze(t *testing.T, pkgpath, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgpath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := Run(fset, []*ast.File{f}, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, want ...string) {
+	t.Helper()
+	if len(diags) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, frag := range want {
+		if !strings.Contains(diags[i].Msg, frag) {
+			t.Errorf("finding %d = %q, want it to mention %q", i, diags[i].Msg, frag)
+		}
+	}
+}
+
+func TestNoPrintln(t *testing.T) {
+	src := `package fake
+
+import (
+	"fmt"
+	flog "log"
+)
+
+func output() {
+	fmt.Println("boom")
+	flog.Printf("renamed import %d", 1)
+	_ = fmt.Sprintf("formatting is fine")
+	//lint:ignore noprintln the one sanctioned print
+	fmt.Print("suppressed")
+}
+`
+	diags := analyze(t, "voodoo/internal/fake", src, []*Analyzer{NoPrintln})
+	wantFindings(t, diags, "fmt.Println", "log.Printf")
+}
+
+func TestNoPrintlnOutsideInternal(t *testing.T) {
+	src := `package main
+
+import "fmt"
+
+func main() { fmt.Println("CLIs may print") }
+`
+	diags := analyze(t, "voodoo/cmd/fake", src, []*Analyzer{NoPrintln})
+	wantFindings(t, diags)
+}
+
+const arenaDecls = `
+type Arena struct{}
+
+func (a *Arena) Release()        {}
+func (a *Arena) Ints(n int) []int64 { return nil }
+
+type Pool struct{}
+
+func (p *Pool) NewArena() *Arena { return &Arena{} }
+`
+
+func TestArenaReleaseLeak(t *testing.T) {
+	src := `package fake
+` + arenaDecls + `
+func leak(p *Pool) []int64 {
+	a := p.NewArena()
+	return a.Ints(4)
+}
+`
+	diags := analyze(t, "voodoo/internal/fake", src, []*Analyzer{ArenaRelease})
+	wantFindings(t, diags, "never Released")
+}
+
+func TestArenaReleaseClean(t *testing.T) {
+	src := `package fake
+` + arenaDecls + `
+func deferred(p *Pool) []int64 {
+	a := p.NewArena()
+	defer a.Release()
+	return a.Ints(4)
+}
+
+func escapes(p *Pool) *Arena {
+	a := p.NewArena()
+	return a
+}
+
+func direct(p *Pool) {
+	a := p.NewArena()
+	a.Release()
+}
+`
+	diags := analyze(t, "voodoo/internal/fake", src, []*Analyzer{ArenaRelease})
+	wantFindings(t, diags)
+}
+
+func TestCheckpointLoop(t *testing.T) {
+	src := `package exec
+
+type worker struct{}
+
+func (w *worker) run(lo, hi int) error { return nil }
+func (w *worker) tick(gid int) error   { return nil }
+
+func unchecked(w *worker, n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.run(i, i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checked(w *worker, n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.tick(i); err != nil {
+			return err
+		}
+		if err := w.run(i, i+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`
+	diags := analyze(t, "voodoo/internal/exec", src, []*Analyzer{CheckpointLoop})
+	wantFindings(t, diags, "no cancellation checkpoint")
+}
+
+func TestCheckpointLoopOutOfScope(t *testing.T) {
+	src := `package fake
+
+type worker struct{}
+
+func (w *worker) run(lo, hi int) error { return nil }
+
+func unchecked(w *worker, n int) {
+	for i := 0; i < n; i++ {
+		_ = w.run(i, i+1)
+	}
+}
+`
+	diags := analyze(t, "voodoo/internal/fake", src, []*Analyzer{CheckpointLoop})
+	wantFindings(t, diags)
+}
+
+func TestAtomicPtr(t *testing.T) {
+	src := `package fake
+
+import "sync/atomic"
+
+type frag struct {
+	spec atomic.Value
+	flag atomic.Bool
+}
+
+func misuse(f *frag, g *frag) {
+	_ = f.spec          // copy: non-atomic read
+	f.spec = g.spec     // reassign (and a copy on the right)
+}
+
+func fine(f *frag) {
+	f.spec.Store(1)
+	_ = f.flag.Load()
+	p := &f.spec
+	_ = p
+	//lint:ignore atomicptr single-threaded setup
+	_ = f.spec
+}
+`
+	diags := analyze(t, "voodoo/internal/fake", src, []*Analyzer{AtomicPtr})
+	wantFindings(t, diags, "copying atomic field", "reassigning atomic field", "copying atomic field")
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPrintln bans fmt.Print/Printf/Println and their log twins in internal
+// packages: daemon output must flow through internal/telemetry so it stays
+// structured, leveled, and exportable. This replaces the old grep-based CI
+// step — resolving the callee through go/types means strings and comments
+// can no longer false-positive, and a dot- or renamed import can no longer
+// slip through.
+var NoPrintln = &Analyzer{
+	Name: "noprintln",
+	Doc:  "disallow fmt.Print*/log.Print* in internal packages; use internal/telemetry",
+	Run:  runNoPrintln,
+}
+
+var bannedPrint = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runNoPrintln(p *Pass) error {
+	if !p.internalPackage() {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !bannedPrint[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "fmt", "log":
+				p.Reportf(call.Pos(), "%s.%s writes to the process streams; use internal/telemetry",
+					pn.Imported().Path(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
